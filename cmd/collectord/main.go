@@ -1,0 +1,159 @@
+// collectord is the monitoring host of §3.5 as a real network daemon: it
+// periodically dials each node agent over TCP, authenticates with the
+// host's pre-shared key (the SSH public-key stand-in), and pulls new log
+// content with the rsync delta algorithm.
+//
+// Usage:
+//
+//	collectord -hosts 01=127.0.0.1:7701,02=127.0.0.1:7702 \
+//	           [-keyseed winter0910] [-every 20m] [-rounds 0] [-dir mirror/]
+//
+// Keys are derived as SHA-256(keyseed/psk/<hostID>) and must match the
+// node agents' -keyseed.
+package main
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"frostlab/internal/dash"
+	"frostlab/internal/monitor"
+	"frostlab/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collectord:", err)
+		os.Exit(1)
+	}
+}
+
+// derivePSK matches nodeagent's key derivation.
+func derivePSK(keyseed, hostID string) []byte {
+	sum := sha256.Sum256([]byte(keyseed + "/psk/" + hostID))
+	return sum[:]
+}
+
+// randNonce is a crypto/rand-backed wire.Nonce.
+func randNonce() ([]byte, error) {
+	b := make([]byte, wire.NonceSize)
+	_, err := rand.Read(b)
+	return b, err
+}
+
+func run() error {
+	hostsFlag := flag.String("hosts", "", "comma-separated hostID=addr pairs")
+	keyseed := flag.String("keyseed", "winter0910", "pre-shared key derivation seed")
+	keyfile := flag.String("keystore", "", "keystore file of hostID hexkey lines (overrides -keyseed)")
+	every := flag.Duration("every", 20*time.Minute, "collection cadence")
+	rounds := flag.Int("rounds", 0, "stop after N rounds (0 = forever)")
+	dir := flag.String("dir", "", "write mirrored logs into this directory after each round")
+	httpAddr := flag.String("http", "", "serve the status dashboard on this address (e.g. 127.0.0.1:8080)")
+	flag.Parse()
+
+	if *hostsFlag == "" {
+		return fmt.Errorf("-hosts is required")
+	}
+	type target struct{ id, addr string }
+	var targets []target
+	for _, pair := range strings.Split(*hostsFlag, ",") {
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || addr == "" {
+			return fmt.Errorf("bad -hosts entry %q (want id=addr)", pair)
+		}
+		targets = append(targets, target{id: id, addr: addr})
+	}
+	keyFor := func(id string) ([]byte, error) { return derivePSK(*keyseed, id), nil }
+	if *keyfile != "" {
+		f, err := os.Open(*keyfile)
+		if err != nil {
+			return err
+		}
+		keys, err := wire.LoadKeystore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		keyFor = keys.Lookup
+	}
+	coll := monitor.NewCollector(0)
+	if *httpAddr != "" {
+		ids := make([]string, len(targets))
+		for i, t := range targets {
+			ids[i] = t.id
+		}
+		srv := dash.NewServer(coll, ids, time.Now())
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
+			}
+		}()
+		fmt.Printf("status dashboard on http://%s/\n", *httpAddr)
+	}
+	for round := 1; *rounds == 0 || round <= *rounds; round++ {
+		for _, t := range targets {
+			psk, err := keyFor(t.id)
+			if err != nil {
+				return err
+			}
+			if err := collectOne(coll, t.id, t.addr, psk); err != nil {
+				fmt.Fprintf(os.Stderr, "round %d host %s: %v\n", round, t.id, err)
+				continue
+			}
+		}
+		hist := coll.History()
+		if len(hist) > 0 {
+			last := hist[len(hist)-1]
+			fmt.Printf("round %d complete: last host %s, %d files, %d literal bytes (%.1f%% saved)\n",
+				round, last.HostID, last.Files, last.LiteralBytes, last.Savings()*100)
+		}
+		if *dir != "" {
+			for _, t := range targets {
+				if err := dumpMirror(coll, t.id, *dir); err != nil {
+					return err
+				}
+			}
+		}
+		if *rounds != 0 && round == *rounds {
+			break
+		}
+		time.Sleep(*every)
+	}
+	return nil
+}
+
+func collectOne(coll *monitor.Collector, hostID, addr string, psk []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	sess, err := wire.Dial(conn, hostID, psk, randNonce)
+	if err != nil {
+		return err
+	}
+	_, err = coll.CollectHost(sess, hostID, time.Now())
+	return err
+}
+
+func dumpMirror(coll *monitor.Collector, hostID, dir string) error {
+	m := coll.Mirror(hostID)
+	base := filepath.Join(dir, hostID)
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return err
+	}
+	for _, name := range m.Names() {
+		if err := os.WriteFile(filepath.Join(base, name), m.Get(name), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

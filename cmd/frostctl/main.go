@@ -1,0 +1,179 @@
+// frostctl runs the full reproduction end to end: the §3.1 prototype
+// weekend, the Feb 19 – Mar 26 normal phase, and every figure and table
+// the paper reports.
+//
+// Usage:
+//
+//	frostctl [-seed SEED] [-phase all|prototype|normal] [-monitor 20m]
+//	         [-days N] [-csv DIR] [-events]
+//
+// With no flags it reproduces the reference run (seed winter0910-r115).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"frostlab/internal/core"
+	"frostlab/internal/power"
+	"frostlab/internal/report"
+	"frostlab/internal/timeseries"
+	"frostlab/internal/weather"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frostctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.String("seed", core.ReferenceSeed, "master RNG seed")
+	phase := flag.String("phase", "all", "all | prototype | normal")
+	monitor := flag.Duration("monitor", 20*time.Minute, "monitoring cadence (0 disables the rsync plane)")
+	days := flag.Int("days", 0, "override the normal-phase length in days (0 = paper horizon)")
+	csvDir := flag.String("csv", "", "write temperature/humidity CSVs into this directory")
+	events := flag.Bool("events", false, "print the full experiment event log")
+	saveTo := flag.String("save", "", "save the run's results as JSON to this file")
+	loadFrom := flag.String("load", "", "skip the simulation; render a previously saved run")
+	mdTo := flag.String("md", "", "write a complete markdown run report to this file")
+	flag.Parse()
+
+	if *phase == "all" || *phase == "prototype" {
+		proto, err := core.RunPrototype(core.DefaultPrototypeConfig(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.TablePrototype(proto))
+		fmt.Println()
+	}
+	if *phase == "prototype" {
+		return nil
+	}
+
+	var r *core.Results
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			return err
+		}
+		r, err = core.LoadResults(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Rendering saved run %s (seed %q, %s – %s)\n\n",
+			*loadFrom, r.Seed, r.Start.Format("Jan 02"), r.End.Format("Jan 02"))
+	} else {
+		cfg := core.DefaultConfig(*seed)
+		cfg.MonitorEvery = *monitor
+		if *days > 0 {
+			cfg.End = cfg.Start.AddDate(0, 0, *days)
+		}
+		fmt.Printf("Running normal phase %s – %s (seed %q, monitoring %v)...\n\n",
+			cfg.Start.Format("Jan 02"), cfg.End.Format("Jan 02"), *seed, *monitor)
+		exp, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		r, err = exp.Run()
+		if err != nil {
+			return err
+		}
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		if err := core.SaveResults(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Results saved to %s\n\n", *saveTo)
+	}
+
+	fmt.Println(report.Fig1Schematic())
+	for _, f := range []func(*core.Results) (string, error){
+		report.Fig2Timeline, report.Fig3Temperatures, report.Fig4Humidity,
+	} {
+		s, err := f(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	}
+	fmt.Println(report.TableFailureRates(r))
+	fmt.Println(report.TableWrongHashes(r))
+	fmt.Println(report.TableMemoryModel(r))
+	fmt.Println(report.TableSensorFault(r))
+	if *monitor > 0 {
+		fmt.Println(report.TableMonitoring(r))
+	}
+	pue, err := report.TablePUE()
+	if err != nil {
+		return err
+	}
+	fmt.Println(pue)
+
+	wx := weather.ReferenceWinter0910(r.Seed)
+	cmp, err := power.DefaultEconomizer().Compare(wx, 75_000, r.Start, r.End, time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.TableEconomizer(cmp))
+
+	if *events {
+		fmt.Println(report.EventLog(r))
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, r); err != nil {
+			return err
+		}
+		fmt.Printf("CSV series written to %s\n", *csvDir)
+	}
+	if *mdTo != "" {
+		md, err := report.Markdown(r)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*mdTo, []byte(md), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Markdown report written to %s\n", *mdTo)
+	}
+	return nil
+}
+
+func writeCSVs(dir string, r *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, s := range map[string]*timeseries.Series{
+		"outside_temp.csv": r.OutsideTemp,
+		"outside_rh.csv":   r.OutsideRH,
+		"inside_temp.csv":  r.InsideTemp,
+		"inside_rh.csv":    r.InsideRH,
+	} {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := s.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// nodeagent is the per-host side of the §3.5 monitoring plane as a real
+// network daemon: it runs the synthetic workload cycle against a local
+// source tree, appends md5sum results to its log store, and serves
+// authenticated delta-sync collections over TCP.
+//
+// Usage:
+//
+//	nodeagent -id 01 [-listen 127.0.0.1:7701] [-keyseed winter0910]
+//	          [-cycle 10m] [-cycles 0]
+//
+// Keys are derived as SHA-256(keyseed/psk/<id>), matching collectord.
+package main
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"frostlab/internal/monitor"
+	"frostlab/internal/simkernel"
+	"frostlab/internal/wire"
+	"frostlab/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nodeagent:", err)
+		os.Exit(1)
+	}
+}
+
+func derivePSK(keyseed, hostID string) []byte {
+	sum := sha256.Sum256([]byte(keyseed + "/psk/" + hostID))
+	return sum[:]
+}
+
+func randNonce() ([]byte, error) {
+	b := make([]byte, wire.NonceSize)
+	_, err := rand.Read(b)
+	return b, err
+}
+
+func run() error {
+	id := flag.String("id", "", "host identifier (e.g. 01)")
+	listen := flag.String("listen", "127.0.0.1:7701", "TCP listen address")
+	keyseed := flag.String("keyseed", "winter0910", "pre-shared key derivation seed")
+	keyfile := flag.String("keystore", "", "keystore file of hostID hexkey lines (overrides -keyseed)")
+	cycle := flag.Duration("cycle", 10*time.Minute, "workload cycle period (§3.5: 10 minutes)")
+	cycles := flag.Int("cycles", 0, "stop the workload after N cycles (0 = forever)")
+	flag.Parse()
+
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	store := monitor.NewFileStore()
+	agent := monitor.NewAgent(*id, store)
+	keys := wire.Keystore{*id: derivePSK(*keyseed, *id)}
+	if *keyfile != "" {
+		f, err := os.Open(*keyfile)
+		if err != nil {
+			return err
+		}
+		loaded, err := wire.LoadKeystore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		key, err := loaded.Lookup(*id)
+		if err != nil {
+			return err
+		}
+		keys = wire.Keystore{*id: key}
+	}
+
+	rng := simkernel.NewRNG(*keyseed + "/agent/" + *id)
+	runner, err := workload.NewRunner(*id, *keyseed+"/tree/"+*id, 30, 128<<10, 8<<10, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nodeagent %s: reference md5 %s, %d blocks, listening on %s\n",
+		*id, runner.Reference(), runner.ReferenceBlocks(), *listen)
+
+	// Workload loop: real wall-clock cadence with the paper's 0-119 s
+	// start fuzz, scaled proportionally when a shorter -cycle is chosen.
+	go func() {
+		fuzz := workload.StartFuzz(rng, *id)
+		scale := float64(*cycle) / float64(workload.CyclePeriod)
+		for n := 0; *cycles == 0 || n < *cycles; n++ {
+			time.Sleep(time.Duration(float64(fuzz()) * scale))
+			res, err := runner.RunCycle(time.Now(), false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cycle: %v\n", err)
+				continue
+			}
+			status := "OK"
+			if !res.OK {
+				status = "BAD"
+			}
+			line := fmt.Sprintf("%s %s %s\n", res.At.UTC().Format(time.RFC3339), status, res.MD5)
+			store.Append(monitor.MD5Log, []byte(line))
+			time.Sleep(*cycle)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			sess, err := wire.Accept(conn, keys, randNonce)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "handshake: %v\n", err)
+				return
+			}
+			if err := agent.Serve(sess); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			}
+		}()
+	}
+}

@@ -1,0 +1,62 @@
+// weathergen generates synthetic Helsinki-winter weather traces (the SMEAR
+// III stand-in) as CSV, for replay with weather.ReadTraceCSV or external
+// analysis.
+//
+// Usage:
+//
+//	weathergen [-seed SEED] [-from 2010-02-12] [-days 42] [-step 10m] [-o trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"frostlab/internal/weather"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "weathergen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.String("seed", "winter0910", "weather RNG seed")
+	climate := flag.String("climate", "", fmt.Sprintf("climate preset %v instead of the calibrated reference winter", weather.ClimateNames()))
+	fromStr := flag.String("from", "2010-02-12", "trace start date (YYYY-MM-DD)")
+	days := flag.Int("days", 42, "trace length in days")
+	step := flag.Duration("step", 10*time.Minute, "sample interval")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	from, err := time.Parse("2006-01-02", *fromStr)
+	if err != nil {
+		return fmt.Errorf("parsing -from: %w", err)
+	}
+	if *days <= 0 {
+		return fmt.Errorf("-days must be positive")
+	}
+	var m weather.Model = weather.ReferenceWinter0910(*seed)
+	if *climate != "" {
+		c, err := weather.LookupClimate(*climate)
+		if err != nil {
+			return err
+		}
+		if m, err = c.Model(from.UTC(), *seed); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return weather.WriteTraceCSV(w, m, from.UTC(), from.UTC().AddDate(0, 0, *days), *step)
+}

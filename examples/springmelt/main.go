@@ -1,0 +1,84 @@
+// springmelt is the paper's future work (§5–6) made runnable: "As the
+// spring is now approaching, conditions are likely to shift rapidly" —
+// extend the experiment past the paper's March 26 horizon into May and
+// watch for where the free-air design starts to strain: rising tent
+// temperatures, shrinking free-cooling hours, and the first condensation
+// exposure for unpowered gear.
+//
+//	go run ./examples/springmelt
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"frostlab/internal/analysis"
+	"frostlab/internal/core"
+	"frostlab/internal/power"
+	"frostlab/internal/report"
+	"frostlab/internal/weather"
+)
+
+func main() {
+	cfg := core.DefaultConfig(core.ReferenceSeed)
+	cfg.End = cfg.Start.AddDate(0, 0, 84) // mid-May: +7 weeks past the paper
+	cfg.MonitorEvery = 0                  // this study only needs the physics
+	exp, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Weekly climate and tent summary.
+	fmt.Println("Extended season (paper horizon was Mar 26; this run ends mid-May)")
+	fmt.Println()
+	header := []string{"week of", "outside mean", "outside max", "inside mean", "inside max"}
+	var rows [][]string
+	for w := 0; w < 12; w++ {
+		from := cfg.Start.AddDate(0, 0, 7*w)
+		to := from.AddDate(0, 0, 7)
+		o, err := r.OutsideTemp.Slice(from, to).Summarize()
+		if err != nil {
+			continue
+		}
+		inMean, inMax := "n/a", "n/a"
+		if in, err := r.InsideTemp.Slice(from, to).Summarize(); err == nil {
+			inMean, inMax = fmt.Sprintf("%.1f °C", in.Mean), fmt.Sprintf("%.1f °C", in.Max)
+		}
+		rows = append(rows, []string{
+			from.Format("Jan 02"),
+			fmt.Sprintf("%.1f °C", o.Mean),
+			fmt.Sprintf("%.1f °C", o.Max),
+			inMean, inMax,
+		})
+	}
+	fmt.Println(report.Table(header, rows))
+
+	// Where does free cooling stop being free?
+	wx := weather.ReferenceWinter0910(core.ReferenceSeed)
+	eco := power.DefaultEconomizer()
+	fmt.Println("Free-cooling fraction by month (75 kW IT load):")
+	for m := 0; m < 3; m++ {
+		from := cfg.Start.AddDate(0, m, 0)
+		to := from.AddDate(0, 1, 0)
+		cmp, err := eco.Compare(wx, 75_000, from, to, time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %.1f%% free, savings %.1f%%\n",
+			from.Format("January"), cmp.FreeCoolingFraction*100, cmp.Savings*100)
+	}
+	fmt.Println()
+
+	// Condensation through the spring transition (§5's worry intensifies
+	// as warm moist fronts arrive).
+	cond, err := analysis.CondensationStudy(wx, cfg.Start, cfg.End, 10*time.Minute, 5, 2*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.TableCondensation(cond))
+}

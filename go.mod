@@ -1,0 +1,3 @@
+module frostlab
+
+go 1.22

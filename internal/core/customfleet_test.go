@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"frostlab/internal/hardware"
+)
+
+// TestCustomFleet exercises the downstream-user path: a bespoke fleet (two
+// rack servers in the tent, one control) runs through the same
+// orchestration as the paper's.
+func TestCustomFleet(t *testing.T) {
+	fleet := hardware.NewFleet()
+	specC, err := hardware.SpecFor(hardware.VendorC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := hardware.InstallStart
+	add := func(id string, loc hardware.Location, at time.Time) {
+		t.Helper()
+		if err := fleet.Add(&hardware.Host{ID: id, Spec: specC, Location: loc, InstalledAt: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("r1", hardware.Tent, start)
+	add("r2", hardware.Tent, start.AddDate(0, 0, 1))
+	add("ctl", hardware.Basement, start)
+
+	cfg := DefaultConfig("custom-fleet")
+	cfg.Fleet = fleet
+	cfg.End = start.AddDate(0, 0, 4)
+	cfg.MonitorEvery = 0
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hosts) != 3 {
+		t.Fatalf("hosts %d, want 3", len(r.Hosts))
+	}
+	if r.TentHostFailureRate.Trials != 2 || r.ControlHostFailureRate.Trials != 1 {
+		t.Errorf("arms %d/%d, want 2/1", r.TentHostFailureRate.Trials, r.ControlHostFailureRate.Trials)
+	}
+	r1, ok := r.Hosts["r1"]
+	if !ok {
+		t.Fatal("custom host r1 missing")
+	}
+	if r1.Cycles < 500 || r1.Cycles > 620 {
+		t.Errorf("r1 cycles %d, want ≈ 576 over 4 days", r1.Cycles)
+	}
+	// ECC rack servers never produce bad hashes.
+	if len(r.WrongHashes) != 0 {
+		t.Errorf("ECC-only fleet produced %d wrong hashes", len(r.WrongHashes))
+	}
+	// 5 drives per 2U box.
+	if r.SMARTLongTestsPassed+r.SMARTLongTestsFailed != 15 {
+		t.Errorf("drive count %d, want 15", r.SMARTLongTestsPassed+r.SMARTLongTestsFailed)
+	}
+}
+
+func TestEmptyFleetRejected(t *testing.T) {
+	cfg := DefaultConfig("empty-fleet")
+	cfg.Fleet = hardware.NewFleet()
+	if _, err := New(cfg); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}

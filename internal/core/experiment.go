@@ -1,0 +1,628 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"frostlab/internal/failure"
+	"frostlab/internal/hardware"
+	"frostlab/internal/monitor"
+	"frostlab/internal/sensors"
+	"frostlab/internal/simkernel"
+	"frostlab/internal/thermal"
+	"frostlab/internal/timeseries"
+	"frostlab/internal/units"
+	"frostlab/internal/weather"
+	"frostlab/internal/workload"
+)
+
+// EventKind classifies experiment log entries.
+type EventKind string
+
+// Experiment event kinds.
+const (
+	EventInstall       EventKind = "install"
+	EventModification  EventKind = "modification"
+	EventTransient     EventKind = "transient-failure"
+	EventRepair        EventKind = "repair"
+	EventRelocation    EventKind = "relocation-indoors"
+	EventSwitchFailure EventKind = "switch-failure"
+	EventChipGlitch    EventKind = "chip-glitch"
+	EventChipLost      EventKind = "chip-undetected"
+	EventChipRecovered EventKind = "chip-recovered"
+	EventBadHash       EventKind = "bad-hash"
+	EventReadout       EventKind = "lascar-readout"
+	EventDiskFailure   EventKind = "disk-failure"
+	EventStorageLost   EventKind = "storage-lost"
+)
+
+// Event is one entry of the experiment log.
+type Event struct {
+	At      time.Time
+	Kind    EventKind
+	Subject string
+	Detail  string
+}
+
+// hostState is the runtime state of one machine.
+type hostState struct {
+	host   *hardware.Host
+	chip   *sensors.Chip
+	disks  []*sensors.Disk
+	runner *workload.Runner
+	store  *monitor.FileStore
+	agent  *monitor.Agent
+	psk    []byte
+
+	installed bool
+	online    bool
+	relocated bool // taken indoors after repeated failures
+
+	failedDisks []int
+	storageLost bool
+
+	cycles     uint64
+	badHashes  []workload.CycleResult
+	transients []time.Time
+	cpuMin     units.Celsius
+	cpuMax     units.Celsius
+
+	chipGlitchSeen bool
+	chipLost       bool
+
+	// cpuSeries records the lm-sensors readings of tent hosts, including
+	// any bogus −111 °C values — it is the digital record behind §3.1's
+	// "readings recorded by lm-sensors showed that the CPU had been
+	// operating in temperatures as low as −4 °C".
+	cpuSeries *timeseries.Series
+}
+
+// envName returns where the host currently runs.
+func (hs *hostState) envName() string {
+	if hs.relocated {
+		return "indoors"
+	}
+	return string(hs.host.Location)
+}
+
+// Experiment is a configured, runnable reproduction of the normal phase.
+type Experiment struct {
+	cfg   Config
+	rng   *simkernel.RNG
+	sched *simkernel.Scheduler
+	wx    weather.Model
+
+	tent     *thermal.Tent
+	basement *thermal.Basement
+	station  *weather.Station
+	lascar   *sensors.Lascar
+	fleet    *hardware.Fleet
+	engine   *failure.Engine
+	coll     *monitor.Collector
+
+	hosts  map[string]*hostState
+	order  []string
+	events []Event
+
+	// meter is the Technoline Cost Control unit on the tent's power
+	// feed (§3.3).
+	meter *sensors.PowerMeter
+
+	prevOutside units.Celsius
+	havePrev    bool
+
+	nonceCount uint64
+}
+
+// New builds an experiment from the configuration: the paper's reference
+// fleet unless cfg.Fleet overrides it, with physics, schedules and
+// calibration from cfg.
+func New(cfg Config) (*Experiment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := simkernel.NewRNG(cfg.Seed)
+	wx := cfg.Weather
+	if wx == nil {
+		wx = weather.ReferenceWinter0910(cfg.Seed)
+	}
+	tent, err := thermal.NewTent(cfg.Tent)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := failure.NewEngine(cfg.Failure, rng)
+	if err != nil {
+		return nil, err
+	}
+	fleet := cfg.Fleet
+	if fleet == nil {
+		fleet, err = hardware.ReferenceFleet()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(fleet.All()) == 0 {
+		return nil, fmt.Errorf("core: fleet is empty")
+	}
+	e := &Experiment{
+		cfg:      cfg,
+		rng:      rng,
+		sched:    simkernel.NewScheduler(cfg.Start),
+		wx:       wx,
+		tent:     tent,
+		basement: thermal.NewBasement(),
+		fleet:    fleet,
+		engine:   engine,
+		coll:     monitor.NewCollector(0),
+		hosts:    make(map[string]*hostState),
+	}
+	e.station = weather.NewStation(wx, rng, cfg.StationInterval)
+	e.meter = sensors.NewPowerMeter(rng, "tent-feed")
+	e.lascar, err = sensors.NewLascar(sensors.ELUSB2Spec, rng, tent, cfg.LascarInterval, cfg.LascarArrival)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range fleet.All() {
+		hs := &hostState{
+			host:   h,
+			chip:   sensors.NewChip(sensors.DefaultChipConfig(), rng, h.ID, cfg.ChipSusceptibility),
+			store:  monitor.NewFileStore(),
+			psk:    []byte(cfg.Seed + "/psk/" + h.ID),
+			cpuMin: units.Celsius(math.Inf(1)),
+			cpuMax: units.Celsius(math.Inf(-1)),
+		}
+		for i := 0; i < h.Spec.Layout.DiskCount(); i++ {
+			hs.disks = append(hs.disks, sensors.NewDisk(rng, h.ID, i))
+		}
+		hs.agent = monitor.NewAgent(h.ID, hs.store)
+		engine.RegisterHost(h.ID, h.Spec.KnownDefective)
+		e.hosts[h.ID] = hs
+		e.order = append(e.order, h.ID)
+	}
+	sort.Strings(e.order)
+	return e, nil
+}
+
+// logEvent appends to the experiment log.
+func (e *Experiment) logEvent(at time.Time, kind EventKind, subject, detail string) {
+	e.events = append(e.events, Event{At: at, Kind: kind, Subject: subject, Detail: detail})
+}
+
+// environment returns the thermal environment a host currently sits in.
+func (e *Experiment) environment(hs *hostState) (units.Celsius, units.RelHumidity) {
+	if hs.relocated {
+		return sensors.IndoorConditions.Temp, sensors.IndoorConditions.RH
+	}
+	switch hs.host.Location {
+	case hardware.Tent:
+		return e.tent.Air()
+	case hardware.Basement:
+		return e.basement.Air()
+	default:
+		return e.tent.Air()
+	}
+}
+
+// tentPower sums the draw of online tent hosts at the configured duty.
+func (e *Experiment) tentPower() units.Watts {
+	var hosts []*hardware.Host
+	for _, id := range e.order {
+		hs := e.hosts[id]
+		if hs.installed && hs.online && !hs.relocated && hs.host.Location == hardware.Tent {
+			hosts = append(hosts, hs.host)
+		}
+	}
+	return hardware.TotalPower(hosts, e.cfg.DutyCycle)
+}
+
+// Run executes the normal phase and returns the assembled results.
+func (e *Experiment) Run() (*Results, error) {
+	cfg := e.cfg
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil && err != nil {
+			runErr = err
+		}
+	}
+
+	// Outdoor station.
+	if err := e.station.Install(e.sched, cfg.Start); err != nil {
+		return nil, err
+	}
+	// Tent logger (starts sampling at its delivery date).
+	if err := e.lascar.Install(e.sched, cfg.Start); err != nil {
+		return nil, err
+	}
+	// Logger readout trips.
+	if cfg.ReadoutEvery > 0 {
+		first := cfg.LascarArrival.Add(cfg.ReadoutEvery)
+		if first.Before(cfg.End) {
+			if _, err := e.sched.Periodic(first, cfg.ReadoutEvery, nil, func(now time.Time) {
+				e.lascar.BeginReadout(now.Add(20 * time.Minute))
+				e.logEvent(now, EventReadout, "lascar", "USB readout trip; indoor samples recorded")
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Environment physics.
+	if _, err := e.sched.Periodic(cfg.Start, cfg.EnvStep, nil, func(now time.Time) {
+		out := e.wx.At(now)
+		power := e.tentPower()
+		fail(e.tent.Step(cfg.EnvStep, out, power))
+		e.meter.Observe(cfg.EnvStep, power)
+		e.basement.Tick(cfg.EnvStep)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Failure sampling, component thermals, sensor logging.
+	if _, err := e.sched.Periodic(cfg.Start.Add(cfg.FailureStep), cfg.FailureStep, nil, func(now time.Time) {
+		fail(e.failureTick(now))
+	}); err != nil {
+		return nil, err
+	}
+
+	// Tent modifications.
+	for m, at := range cfg.Modifications {
+		m := m
+		if at.Before(cfg.Start) || at.After(cfg.End) {
+			continue
+		}
+		if _, err := e.sched.At(at, func(now time.Time) {
+			e.tent.Apply(m)
+			e.logEvent(now, EventModification, "tent", fmt.Sprintf("%v applied (%s)", m, modName(m)))
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Host installs and workload tasks.
+	for _, id := range e.order {
+		hs := e.hosts[id]
+		at := hs.host.InstalledAt
+		if at.Before(cfg.Start) {
+			at = cfg.Start
+		}
+		if at.After(cfg.End) {
+			continue
+		}
+		if _, err := e.sched.At(at, func(now time.Time) {
+			fail(e.installHost(now, hs))
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Network switches.
+	e.scheduleSwitches()
+
+	// Monitoring rounds.
+	if cfg.MonitorEvery > 0 {
+		if _, err := e.sched.Periodic(cfg.Start.Add(cfg.MonitorEvery), cfg.MonitorEvery, nil, func(now time.Time) {
+			fail(e.monitorRound(now))
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	e.sched.RunUntil(cfg.End)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return e.assembleResults()
+}
+
+func modName(m thermal.Modification) string {
+	switch m {
+	case thermal.ReflectiveFoil:
+		return "reflective foil cover"
+	case thermal.RemoveInnerTent:
+		return "inner tent removed"
+	case thermal.OpenBottom:
+		return "bottom tarpaulin opened"
+	case thermal.InstallFan:
+		return "tabletop fan installed"
+	default:
+		return m.String()
+	}
+}
+
+// installHost brings a host online and starts its workload cycle.
+func (e *Experiment) installHost(now time.Time, hs *hostState) error {
+	runner, err := workload.NewRunner(hs.host.ID, e.cfg.workloadSeed(hs.host),
+		e.cfg.WorkloadFiles, e.cfg.WorkloadBytes, e.cfg.WorkloadBlockSize, e.rng)
+	if err != nil {
+		return err
+	}
+	hs.runner = runner
+	hs.installed = true
+	hs.online = true
+	if hs.host.Location == hardware.Tent {
+		hs.cpuSeries = timeseries.New("cpu_"+hs.host.ID, "°C")
+	}
+	detail := fmt.Sprintf("vendor %s %s in %s, reference md5 %s",
+		hs.host.Spec.Vendor, hs.host.Spec.FormFactor, hs.host.Location, runner.Reference())
+	if hs.host.ReplacementFor != "" {
+		detail += fmt.Sprintf(" (replacement for host %s)", hs.host.ReplacementFor)
+	}
+	e.logEvent(now, EventInstall, hs.host.ID, detail)
+
+	fuzz := workload.StartFuzz(e.rng, hs.host.ID)
+	_, err = e.sched.Periodic(now.Add(workload.CyclePeriod), workload.CyclePeriod, fuzz, func(at time.Time) {
+		e.workloadCycle(at, hs)
+	})
+	return err
+}
+
+// workloadCycle runs one §3.5 cycle for a host: usually a cheap accounting
+// step (the result is bit-identical to the reference), but on a sampled
+// memory corruption the real pipeline runs and the forensics are recorded.
+func (e *Experiment) workloadCycle(now time.Time, hs *hostState) {
+	if !hs.online {
+		return
+	}
+	hs.cycles++
+	corrupted := e.engine.CycleCorrupted(hs.host.ID, e.cfg.PagesPerCycle, hs.host.Spec.ECC)
+	if !corrupted {
+		line := fmt.Sprintf("%s OK %s\n", now.UTC().Format(time.RFC3339), hs.runner.Reference())
+		hs.store.Append(monitor.MD5Log, []byte(line))
+		return
+	}
+	res, err := hs.runner.RunCycle(now, true)
+	if err != nil {
+		// A pipeline error here is a programming bug; record loudly.
+		hs.store.Append(monitor.MD5Log, []byte("ERROR "+err.Error()+"\n"))
+		return
+	}
+	hs.badHashes = append(hs.badHashes, res)
+	line := fmt.Sprintf("%s BAD %s (bad blocks %v of %d)\n",
+		now.UTC().Format(time.RFC3339), res.MD5, res.BadBlocks, res.Blocks)
+	hs.store.Append(monitor.MD5Log, []byte(line))
+	e.engine.LogMemoryCorruption(now, hs.host.ID,
+		fmt.Sprintf("wrong md5sum; %d of %d compression blocks corrupt", len(res.BadBlocks), res.Blocks))
+	e.logEvent(now, EventBadHash, hs.host.ID,
+		fmt.Sprintf("wrong hash in %s; %d of %d blocks corrupt", hs.envName(), len(res.BadBlocks), res.Blocks))
+}
+
+// failureTick advances component thermals, sensors and failure sampling for
+// every installed host.
+func (e *Experiment) failureTick(now time.Time) error {
+	out := e.wx.At(now)
+	var ratePerHour float64
+	if e.havePrev {
+		ratePerHour = math.Abs(float64(out.Temp-e.prevOutside)) / e.cfg.FailureStep.Hours()
+	}
+	e.prevOutside = out.Temp
+	e.havePrev = true
+
+	for _, id := range e.order {
+		hs := e.hosts[id]
+		if !hs.installed || !hs.online {
+			continue
+		}
+		ambient, rh := e.environment(hs)
+		if hs.relocated {
+			// A host taken indoors has left both experimental arms
+			// (§4.2.1: host 15 "was left to operate in an indoors
+			// environment; no further failures have been detected"). It
+			// keeps working and logging but is no longer failure-sampled.
+			temps, err := thermal.SteadyState(ambient,
+				hs.host.Spec.Power(e.cfg.DutyCycle), hs.host.Spec.CPUPower(e.cfg.DutyCycle), hs.host.Spec.Airflow)
+			if err != nil {
+				return err
+			}
+			e.watchChip(now, hs, temps.CPU)
+			continue
+		}
+		temps, err := thermal.SteadyState(ambient,
+			hs.host.Spec.Power(e.cfg.DutyCycle), hs.host.Spec.CPUPower(e.cfg.DutyCycle), hs.host.Spec.Airflow)
+		if err != nil {
+			return err
+		}
+		if temps.CPU < hs.cpuMin {
+			hs.cpuMin = temps.CPU
+		}
+		if temps.CPU > hs.cpuMax {
+			hs.cpuMax = temps.CPU
+		}
+		hs.chip.Observe(e.cfg.FailureStep, temps.CPU)
+		e.watchChip(now, hs, temps.CPU)
+		for i, d := range hs.disks {
+			if d.Failed() {
+				continue
+			}
+			d.Observe(e.cfg.FailureStep, temps.Disk)
+			ev, err := e.engine.StepDisk(now, e.cfg.FailureStep,
+				fmt.Sprintf("%s/%d", hs.host.ID, i), temps.Disk, e.cfg.Disk)
+			if err != nil {
+				return err
+			}
+			if ev != nil {
+				d.Fail()
+				e.handleDiskFailure(now, hs, i)
+			}
+		}
+		if hs.storageLost {
+			continue // the host went down with its array this tick
+		}
+
+		stress := failure.Stress{
+			Ambient:         ambient,
+			RH:              rh,
+			CaseAir:         temps.CaseAir,
+			TempRatePerHour: tern(hs.host.Location == hardware.Tent && !hs.relocated, ratePerHour, 0),
+			Condensing:      units.CondensationRisk(ambient, rh, temps.CaseAir),
+		}
+		ev, err := e.engine.StepHost(now, e.cfg.FailureStep, hs.host.ID, stress)
+		if err != nil {
+			return err
+		}
+		if ev != nil {
+			e.handleTransient(now, hs)
+		}
+	}
+	return nil
+}
+
+func tern[T any](c bool, a, b T) T {
+	if c {
+		return a
+	}
+	return b
+}
+
+// watchChip narrates the §4.2.1 sensor chip story: log the first bogus
+// reading, the failed redetection, and the warm-reboot recovery; also
+// append the sensor log line the monitoring host collects.
+func (e *Experiment) watchChip(now time.Time, hs *hostState, trueCPU units.Celsius) {
+	reading, err := hs.chip.Read(trueCPU)
+	var line string
+	switch {
+	case err != nil:
+		line = fmt.Sprintf("%s cpu=ERR chip not detected\n", now.UTC().Format(time.RFC3339))
+	default:
+		line = fmt.Sprintf("%s cpu=%.1f\n", now.UTC().Format(time.RFC3339), float64(reading))
+		if hs.cpuSeries != nil {
+			_ = hs.cpuSeries.Append(now, float64(reading))
+		}
+	}
+	hs.store.Append(monitor.SensorLog, []byte(line))
+
+	switch hs.chip.State() {
+	case sensors.ChipGlitching:
+		if !hs.chipGlitchSeen {
+			hs.chipGlitchSeen = true
+			e.logEvent(now, EventChipGlitch, hs.host.ID,
+				fmt.Sprintf("lm-sensors reporting %v; anomaly detected", sensors.BogusReading))
+			// The operators tried to redetect the chip two days later —
+			// which killed it.
+			_, _ = e.sched.At(now.Add(48*time.Hour), func(at time.Time) {
+				hs.chip.Redetect()
+				if hs.chip.State() == sensors.ChipUndetected && !hs.chipLost {
+					hs.chipLost = true
+					e.logEvent(at, EventChipLost, hs.host.ID, "redetection attempt; chip ceased to be detected")
+					// "After a week, we risked a warm system reboot."
+					_, _ = e.sched.At(at.Add(7*24*time.Hour), func(at2 time.Time) {
+						hs.chip.WarmReboot()
+						e.logEvent(at2, EventChipRecovered, hs.host.ID, "warm reboot; sensor chip works again")
+					})
+				}
+			})
+		}
+	}
+}
+
+// handleDiskFailure cascades a drive death through the host's storage
+// layout: a surviving array degrades; a lost array takes the host down for
+// good (no §3.4 layout can be rebuilt on the terrace).
+func (e *Experiment) handleDiskFailure(now time.Time, hs *hostState, index int) {
+	hs.failedDisks = append(hs.failedDisks, index)
+	layout := hs.host.Spec.Layout
+	if layout.SurvivesDiskFailures(hs.failedDisks) {
+		e.logEvent(now, EventDiskFailure, hs.host.ID,
+			fmt.Sprintf("disk %d failed; %s array degraded but serving", index, layout))
+		return
+	}
+	hs.storageLost = true
+	hs.online = false
+	e.logEvent(now, EventStorageLost, hs.host.ID,
+		fmt.Sprintf("disk %d failed; %s array lost, host down", index, layout))
+}
+
+// handleTransient implements the paper's operational policy: first failure
+// gets an inspection and reset after the repair delay; a second failure
+// takes the host indoors for good (§4.2.1, host 15).
+func (e *Experiment) handleTransient(now time.Time, hs *hostState) {
+	hs.transients = append(hs.transients, now)
+	hs.online = false
+	nth := len(hs.transients)
+	e.logEvent(now, EventTransient, hs.host.ID,
+		fmt.Sprintf("system failure #%d in %s", nth, hs.envName()))
+	after := e.cfg.RepairDelay
+	if nth == 1 {
+		_, _ = e.sched.At(now.Add(after), func(at time.Time) {
+			hs.online = true
+			e.logEvent(at, EventRepair, hs.host.ID, "inspection and reset; no cause found; marked transient")
+		})
+		return
+	}
+	_, _ = e.sched.At(now.Add(after), func(at time.Time) {
+		hs.relocated = true
+		hs.online = true
+		e.logEvent(at, EventRelocation, hs.host.ID,
+			"could not resume outside; taken indoors, stable since")
+	})
+}
+
+// scheduleSwitches samples and logs the tent switches' lifetimes. The spare
+// is placed in service when the first deployed unit dies.
+func (e *Experiment) scheduleSwitches() {
+	switches := hardware.ReferenceSwitches()
+	if len(switches) == 0 {
+		return
+	}
+	type swState struct {
+		sw  hardware.Switch
+		ttf time.Duration
+	}
+	var deployed []swState
+	var spare *swState
+	for i, sw := range switches {
+		s := swState{sw: sw, ttf: e.engine.RegisterSwitch(sw.ID, sw.Whining)}
+		if i < 2 {
+			deployed = append(deployed, s)
+		} else {
+			sCopy := s
+			spare = &sCopy
+		}
+	}
+	for _, s := range deployed {
+		s := s
+		at := e.cfg.Start.Add(s.ttf)
+		if at.After(e.cfg.End) {
+			continue
+		}
+		_, _ = e.sched.At(at, func(now time.Time) {
+			e.engine.LogSwitchFailure(now, s.sw.ID)
+			e.logEvent(now, EventSwitchFailure, s.sw.ID, "switch failed (known whining unit)")
+			if spare != nil {
+				sp := spare
+				spare = nil
+				spareAt := now.Add(sp.ttf)
+				if spareAt.Before(e.cfg.End) {
+					_, _ = e.sched.At(spareAt, func(at2 time.Time) {
+						e.engine.LogSwitchFailure(at2, sp.sw.ID)
+						e.logEvent(at2, EventSwitchFailure, sp.sw.ID,
+							"spare switch manifested an identical failure state")
+					})
+				}
+			}
+		})
+	}
+}
+
+// monitorRound collects every online host over an authenticated in-memory
+// connection, exactly as cmd/collectord does over TCP.
+func (e *Experiment) monitorRound(now time.Time) error {
+	for _, id := range e.order {
+		hs := e.hosts[id]
+		if !hs.installed || !hs.online {
+			continue
+		}
+		if err := e.collectHost(now, hs); err != nil {
+			return fmt.Errorf("core: collecting %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (e *Experiment) collectHost(now time.Time, hs *hostState) error {
+	e.nonceCount++
+	label := fmt.Sprintf("%s/%d", e.cfg.Seed, e.nonceCount)
+	_, err := monitor.CollectInProcess(hs.agent, e.coll, hs.host.ID, hs.psk, label, now)
+	return err
+}

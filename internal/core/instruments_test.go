@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"frostlab/internal/weather"
+)
+
+func TestTentEnergyAccounting(t *testing.T) {
+	cfg := shortConfig("energy")
+	cfg.End = cfg.Start.AddDate(0, 0, 2)
+	cfg.MonitorEvery = 0
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two vendor-A hosts at 25% duty draw ≈ 222 W for 48 h ≈ 10.7 kWh.
+	kwh := float64(r.TentEnergy)
+	if kwh < 8 || kwh > 13 {
+		t.Errorf("tent energy %.1f kWh, want ≈ 10.7", kwh)
+	}
+	if math.Abs(float64(r.MeterLastReading)-222) > 30 {
+		t.Errorf("meter last reading %v, want ≈ 222 W ± meter error", r.MeterLastReading)
+	}
+}
+
+func TestSMARTLongTestsAllPass(t *testing.T) {
+	// §4.2.2: "the hard drives have passed their S.M.A.R.T. long test
+	// runs" — at default calibration the whole fleet's drives pass.
+	cfg := shortConfig("smart")
+	cfg.MonitorEvery = 0
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SMARTLongTestsFailed != 0 {
+		t.Errorf("%d drives failed their long test; paper saw 0", r.SMARTLongTestsFailed)
+	}
+	// Week one: hosts 01,02,03,06 + twins, 2 drives each (vendor A).
+	if r.SMARTLongTestsPassed != 16 {
+		t.Errorf("long tests passed %d, want 16 (8 vendor-A hosts x 2 drives)", r.SMARTLongTestsPassed)
+	}
+}
+
+func TestSMARTLongTestsFailAfterStorageCarnage(t *testing.T) {
+	cfg := shortConfig("smart-carnage")
+	cfg.MonitorEvery = 0
+	cfg.Disk.BasePerHour = 0.02
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SMARTLongTestsFailed == 0 {
+		t.Error("carnage hazard produced no long-test failures")
+	}
+}
+
+// TestRunWithReplayedTrace exercises the real-data substitution path: a
+// weather trace is exported to CSV, parsed back, and drives an experiment
+// as weather.Model — the route a user with actual SMEAR III data takes.
+func TestRunWithReplayedTrace(t *testing.T) {
+	src := weather.ReferenceWinter0910("trace-replay")
+	var buf bytes.Buffer
+	from := hardwareStart()
+	if err := weather.WriteTraceCSV(&buf, src, from.Add(-time.Hour), from.AddDate(0, 0, 8), 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := weather.ReadTraceCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortConfig("trace-replay")
+	cfg.Weather = trace
+	cfg.MonitorEvery = 0
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed run's outside record must track the source model.
+	got, err := r.OutsideTemp.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for at := from; at.Before(cfg.End); at = at.Add(time.Hour) {
+		sum += float64(src.At(at).Temp)
+		n++
+	}
+	want := sum / float64(n)
+	if math.Abs(got.Mean-want) > 1 {
+		t.Errorf("replayed mean %.2f vs source %.2f", got.Mean, want)
+	}
+}
+
+func hardwareStart() time.Time {
+	return DefaultConfig("x").Start
+}

@@ -1,0 +1,153 @@
+// Package dash is a read-only HTTP status dashboard for the monitoring
+// host: the modern analogue of the paper's hourly terrace webcam (§3.2's
+// footnote). It exposes the collector's mirrored logs, parsed md5sum
+// ledgers, and round statistics over plain net/http, so an operator can
+// check on the fleet without touching the machines — the whole point of
+// the §3.5 collection loop.
+//
+// All endpoints are GET-only and serve either text/plain or JSON:
+//
+//	GET /                    plain-text overview
+//	GET /healthz             liveness probe
+//	GET /api/hosts           JSON host list
+//	GET /api/rounds          JSON collection-round history
+//	GET /api/ledger/{host}   JSON parsed md5sum ledger for one host
+//	GET /logs/{host}/{file}  raw mirrored log content
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"frostlab/internal/monitor"
+)
+
+// Server serves a Collector's state. It performs no writes and holds no
+// state of its own, so it is safe to serve while collection rounds run.
+type Server struct {
+	coll *monitor.Collector
+	// Hosts lists the host IDs the dashboard should show. The collector
+	// itself learns hosts lazily, so the roster comes from the caller.
+	hosts []string
+	start time.Time
+}
+
+// NewServer returns a dashboard over the collector for the given roster.
+func NewServer(coll *monitor.Collector, hosts []string, start time.Time) *Server {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	return &Server{coll: coll, hosts: sorted, start: start}
+}
+
+// Handler returns the dashboard's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/hosts", s.handleHosts)
+	mux.HandleFunc("GET /api/rounds", s.handleRounds)
+	mux.HandleFunc("GET /api/ledger/{host}", s.handleLedger)
+	mux.HandleFunc("GET /logs/{host}/{file}", s.handleLog)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "frostlab monitoring host — up since %s\n\n", s.start.Format(time.RFC3339))
+	hist := s.coll.History()
+	fmt.Fprintf(w, "collection rounds: %d\n", len(hist))
+	var literal, total int
+	for _, rs := range hist {
+		literal += rs.LiteralBytes
+		total += rs.TotalBytes
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "delta transfer: %d literal bytes of %d corpus (%.1f%% saved)\n",
+			literal, total, (1-float64(literal)/float64(total))*100)
+	}
+	fmt.Fprintf(w, "\n%-6s %10s %8s %8s  %s\n", "host", "md5 OK", "bad", "errors", "last cycle")
+	for _, id := range s.hosts {
+		sum, err := monitor.ParseLedger(s.coll.Mirror(id).Get(monitor.MD5Log))
+		if err != nil {
+			fmt.Fprintf(w, "%-6s ledger unreadable: %v\n", id, err)
+			continue
+		}
+		last := "-"
+		if !sum.LastAt.IsZero() {
+			last = sum.LastAt.Format(time.RFC3339)
+		}
+		fmt.Fprintf(w, "%-6s %10d %8d %8d  %s\n", id, sum.OK, sum.Bad, sum.Errors, last)
+	}
+}
+
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
+	type hostInfo struct {
+		ID    string   `json:"id"`
+		Files []string `json:"files"`
+	}
+	out := make([]hostInfo, 0, len(s.hosts))
+	for _, id := range s.hosts {
+		out = append(out, hostInfo{ID: id, Files: s.coll.Mirror(id).Names()})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.coll.History())
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	host := r.PathValue("host")
+	if !s.knownHost(host) {
+		http.Error(w, "unknown host", http.StatusNotFound)
+		return
+	}
+	sum, err := monitor.ParseLedger(s.coll.Mirror(host).Get(monitor.MD5Log))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, sum)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	host := r.PathValue("host")
+	file := r.PathValue("file")
+	if !s.knownHost(host) {
+		http.Error(w, "unknown host", http.StatusNotFound)
+		return
+	}
+	data := s.coll.Mirror(host).Get(file)
+	if data == nil {
+		http.Error(w, "no such log", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) knownHost(id string) bool {
+	for _, h := range s.hosts {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,149 @@
+package dash
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"frostlab/internal/monitor"
+)
+
+var t0 = time.Date(2010, time.February, 19, 12, 0, 0, 0, time.UTC)
+
+// seededServer builds a dashboard over a collector with mirrored content.
+func seededServer(t *testing.T) (*httptest.Server, *monitor.Collector) {
+	t.Helper()
+	coll := monitor.NewCollector(0)
+	m := coll.Mirror("01")
+	m.Put(monitor.MD5Log, []byte(
+		"2010-02-19T12:10:00Z OK d41d8cd98f00b204e9800998ecf8427e\n"+
+			"2010-02-19T12:20:00Z BAD 900150983cd24fb0d6963f7d28e17f72 (1 of 20)\n"))
+	m.Put(monitor.SensorLog, []byte("2010-02-19T12:10:00Z cpu=-4.1\n"))
+	coll.Mirror("02").Put(monitor.MD5Log, []byte("2010-02-19T12:10:00Z OK d41d8cd98f00b204e9800998ecf8427e\n"))
+	srv := httptest.NewServer(NewServer(coll, []string{"01", "02"}, t0).Handler())
+	t.Cleanup(srv.Close)
+	return srv, coll
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexOverview(t *testing.T) {
+	srv, _ := seededServer(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"monitoring host", "01", "02", "md5 OK"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := seededServer(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz %d %q", code, body)
+	}
+}
+
+func TestAPIHosts(t *testing.T) {
+	srv, _ := seededServer(t)
+	code, body := get(t, srv.URL+"/api/hosts")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var hosts []struct {
+		ID    string   `json:"id"`
+		Files []string `json:"files"`
+	}
+	if err := json.Unmarshal([]byte(body), &hosts); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(hosts) != 2 || hosts[0].ID != "01" {
+		t.Errorf("hosts %+v", hosts)
+	}
+	if len(hosts[0].Files) != 2 {
+		t.Errorf("host 01 files %v", hosts[0].Files)
+	}
+}
+
+func TestAPILedger(t *testing.T) {
+	srv, _ := seededServer(t)
+	code, body := get(t, srv.URL+"/api/ledger/01")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var sum monitor.LedgerSummary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK != 1 || sum.Bad != 1 {
+		t.Errorf("ledger %+v", sum)
+	}
+	if code, _ := get(t, srv.URL+"/api/ledger/zz"); code != http.StatusNotFound {
+		t.Errorf("unknown host status %d", code)
+	}
+}
+
+func TestLogsEndpoint(t *testing.T) {
+	srv, _ := seededServer(t)
+	code, body := get(t, srv.URL+"/logs/01/"+monitor.SensorLog)
+	if code != http.StatusOK || !strings.Contains(body, "cpu=-4.1") {
+		t.Errorf("log fetch %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/logs/01/secrets.txt"); code != http.StatusNotFound {
+		t.Errorf("missing file status %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/logs/zz/"+monitor.MD5Log); code != http.StatusNotFound {
+		t.Errorf("unknown host status %d", code)
+	}
+}
+
+func TestAPIRounds(t *testing.T) {
+	srv, coll := seededServer(t)
+	_ = coll
+	code, body := get(t, srv.URL+"/api/rounds")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var rounds []monitor.RoundStats
+	if err := json.Unmarshal([]byte(body), &rounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 0 {
+		t.Errorf("expected no rounds yet, got %d", len(rounds))
+	}
+}
+
+func TestMethodAndPathRestrictions(t *testing.T) {
+	srv, _ := seededServer(t)
+	resp, err := http.Post(srv.URL+"/api/hosts", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d, want 405", resp.StatusCode)
+	}
+	if code, _ := get(t, srv.URL+"/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d", code)
+	}
+}

@@ -1,0 +1,78 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Marshal serialises a signature for the wire: the receiver sends it to
+// the sender so the sender can compute a delta.
+func (s *Signature) Marshal() []byte {
+	var buf bytes.Buffer
+	var scratch [8]byte
+	putUint := func(v uint64) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf.Write(scratch[:])
+	}
+	putUint(uint64(s.BlockSize))
+	putUint(uint64(s.FileLen))
+	putUint(uint64(len(s.Blocks)))
+	for _, b := range s.Blocks {
+		putUint(uint64(b.Index))
+		binary.BigEndian.PutUint32(scratch[:4], b.Weak)
+		buf.Write(scratch[:4])
+		buf.Write(b.Strong[:])
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalSignature parses a serialised signature.
+func UnmarshalSignature(p []byte) (*Signature, error) {
+	r := bytes.NewReader(p)
+	var scratch [8]byte
+	getUint := func() (uint64, error) {
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint64(scratch[:]), nil
+	}
+	bs, err := getUint()
+	if err != nil {
+		return nil, fmt.Errorf("delta: unmarshal signature block size: %w", err)
+	}
+	if bs == 0 || bs > 1<<30 {
+		return nil, fmt.Errorf("delta: implausible signature block size %d", bs)
+	}
+	fl, err := getUint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := getUint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, fmt.Errorf("delta: implausible signature block count %d", n)
+	}
+	sig := &Signature{BlockSize: int(bs), FileLen: int(fl)}
+	for i := uint64(0); i < n; i++ {
+		idx, err := getUint()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return nil, err
+		}
+		b := BlockSig{Index: int(idx), Weak: binary.BigEndian.Uint32(scratch[:4])}
+		if _, err := io.ReadFull(r, b.Strong[:]); err != nil {
+			return nil, err
+		}
+		sig.Blocks = append(sig.Blocks, b)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("delta: %d trailing signature bytes", r.Len())
+	}
+	return sig, nil
+}

@@ -1,0 +1,71 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignatureMarshalRoundTrip(t *testing.T) {
+	data := randBytes(10*1024 + 300)
+	sig, err := NewSignature(data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSignature(sig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BlockSize != sig.BlockSize || back.FileLen != sig.FileLen || len(back.Blocks) != len(sig.Blocks) {
+		t.Fatalf("header mismatch: %+v vs %+v", back, sig)
+	}
+	for i := range sig.Blocks {
+		if back.Blocks[i] != sig.Blocks[i] {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+	// The round-tripped signature must drive a working delta.
+	new := append(append([]byte(nil), data...), []byte("tail")...)
+	d, err := Compute(back, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(data, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, new) {
+		t.Error("reconstruction via marshalled signature differs")
+	}
+}
+
+func TestSignatureMarshalEmpty(t *testing.T) {
+	sig, err := NewSignature(nil, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSignature(sig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Blocks) != 0 || back.FileLen != 0 {
+		t.Errorf("empty signature round trip: %+v", back)
+	}
+}
+
+func TestUnmarshalSignatureRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0xee}, 48), // implausible sizes
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalSignature(c); err == nil {
+			t.Errorf("garbage of %d bytes accepted", len(c))
+		}
+	}
+	// Trailing bytes.
+	sig, _ := NewSignature(randBytes(2048), 1024)
+	if _, err := UnmarshalSignature(append(sig.Marshal(), 0x00)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package failure is frostlab's reliability engine. It turns the paper's
+// observed failure statistics into generative models:
+//
+//   - host-level transient system failures (§4.2.1: two on host 15, none in
+//     the control group — 5.6 % of hosts, vs Intel's reported 4.46 %);
+//   - pre-existing defect populations (vendor B's known-bad series, the
+//     whining network switches that failed identically indoors and out);
+//   - environmental stress factors (heat, thermal cycling, extreme
+//     humidity, condensation) — deliberately calibrated so that plain cold
+//     and high RH add little or nothing, which is the paper's headline
+//     negative result;
+//   - non-ECC memory soft errors at the paper's estimated rate of roughly
+//     one corrupted page per 570 million page operations (§4.2.2).
+//
+// All sampling draws from named simkernel RNG streams, so experiment runs
+// are reproducible.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"frostlab/internal/simkernel"
+	"frostlab/internal/units"
+)
+
+// Kind classifies a failure event.
+type Kind int
+
+// Failure kinds.
+const (
+	// Transient: the system crashed or hung but recovers after a reset —
+	// both host-15 incidents were initially of this kind.
+	Transient Kind = iota
+	// Hard: the component is dead and needs replacement.
+	Hard
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Hard:
+		return "hard"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Component identifies what failed.
+type Component string
+
+// Components tracked by the engine.
+const (
+	System      Component = "system" // whole-host crash/hang, cause unidentified
+	Memory      Component = "memory" // silent corruption (soft error)
+	NetSwitch   Component = "switch"
+	DiskDrive   Component = "disk"
+	PowerSupply Component = "psu"
+)
+
+// Event is one logged failure.
+type Event struct {
+	At        time.Time
+	SubjectID string // host or switch ID
+	Component Component
+	Kind      Kind
+	Detail    string
+}
+
+// Stress is the environmental input to the hazard model for one host and
+// one step.
+type Stress struct {
+	// Ambient is the air temperature around the machine.
+	Ambient units.Celsius
+	// RH is the ambient relative humidity.
+	RH units.RelHumidity
+	// CaseAir is the air temperature inside the case.
+	CaseAir units.Celsius
+	// TempRatePerHour is |d(ambient)/dt| in °C/h — thermal cycling.
+	TempRatePerHour float64
+	// Condensing reports whether condensation is predicted on the
+	// equipment surfaces (see units.CondensationRisk).
+	Condensing bool
+}
+
+// Params calibrates the engine. The defaults in DefaultParams reproduce the
+// paper's statistics in expectation.
+type Params struct {
+	// BaseTransientPerHour is the healthy-host transient failure hazard.
+	BaseTransientPerHour float64
+	// WeakTransientPerHour is the hazard of a "weak" individual from a
+	// defective series.
+	WeakTransientPerHour float64
+	// WeakFractionDefective is the probability that a unit from a
+	// known-defective series (vendor B) is weak.
+	WeakFractionDefective float64
+	// WeakFractionHealthy is the same lottery for ordinary units.
+	WeakFractionHealthy float64
+
+	// HotCaseThreshold and HotCasePerDegree add hazard when case air runs
+	// hot — vendor B's actual defect mechanism (bad airflow).
+	HotCaseThreshold units.Celsius
+	HotCasePerDegree float64
+	// CyclingPerDegreePerHour adds hazard per °C/h of ambient swing.
+	CyclingPerDegreePerHour float64
+	// ExtremeRHThreshold and ExtremeRHFactor add (mild) hazard above the
+	// threshold. The paper found RH of 80–90 % not a certified failure
+	// cause, so the default factor is small.
+	ExtremeRHThreshold units.RelHumidity
+	ExtremeRHFactor    float64
+	// CondensationFactor multiplies hazard while condensing. Condensation
+	// is the one humidity mechanism §5 takes seriously.
+	CondensationFactor float64
+
+	// WhinySwitchMTBF is the mean life of the defective switches; §4.2.1:
+	// "both of the switches encountered a failure after a week or so".
+	WhinySwitchMTBF time.Duration
+	// HealthySwitchMTBF is the mean life of a sound switch.
+	HealthySwitchMTBF time.Duration
+
+	// PageFailureRate is the per-page-operation probability of a memory
+	// soft error on non-ECC hardware; §4.2.2 estimates "around one in 570
+	// million".
+	PageFailureRate float64
+}
+
+// DefaultParams returns the calibration used by the reference experiment.
+func DefaultParams() Params {
+	return Params{
+		BaseTransientPerHour:  1.2e-5, // ≈ 0.1 expected events per 10k host-hours
+		WeakTransientPerHour:  3.5e-3, // a weak unit fails about weekly-to-fortnightly
+		WeakFractionDefective: 0.35,
+		WeakFractionHealthy:   0.008,
+
+		HotCaseThreshold:        45,
+		HotCasePerDegree:        0.08,
+		CyclingPerDegreePerHour: 0.01,
+		ExtremeRHThreshold:      92,
+		ExtremeRHFactor:         1.1,
+		CondensationFactor:      25,
+
+		WhinySwitchMTBF:   170 * time.Hour, // "after a week or so"
+		HealthySwitchMTBF: 10 * 365 * 24 * time.Hour,
+
+		PageFailureRate: 1.0 / 570e6,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.BaseTransientPerHour < 0 || p.WeakTransientPerHour < p.BaseTransientPerHour {
+		return fmt.Errorf("failure: transient hazards inconsistent: base %v, weak %v",
+			p.BaseTransientPerHour, p.WeakTransientPerHour)
+	}
+	if p.WeakFractionDefective < 0 || p.WeakFractionDefective > 1 ||
+		p.WeakFractionHealthy < 0 || p.WeakFractionHealthy > 1 {
+		return fmt.Errorf("failure: weak fractions out of [0,1]")
+	}
+	if p.WhinySwitchMTBF <= 0 || p.HealthySwitchMTBF <= 0 {
+		return fmt.Errorf("failure: switch MTBFs must be positive")
+	}
+	if p.PageFailureRate < 0 || p.PageFailureRate > 1 {
+		return fmt.Errorf("failure: page failure rate %v out of [0,1]", p.PageFailureRate)
+	}
+	return nil
+}
+
+// Engine samples failures. Create with NewEngine; register each subject
+// before stepping it.
+type Engine struct {
+	params Params
+	rng    *simkernel.RNG
+	weak   map[string]bool
+	log    []Event
+}
+
+// NewEngine returns an engine with the given calibration.
+func NewEngine(params Params, rng *simkernel.RNG) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{params: params, rng: rng, weak: make(map[string]bool)}, nil
+}
+
+// Params returns the engine's calibration.
+func (e *Engine) Params() Params { return e.params }
+
+// RegisterHost runs the weak-unit lottery for a host. knownDefective marks
+// units from vendor B's bad series. Registering twice is a no-op and keeps
+// the first draw.
+func (e *Engine) RegisterHost(hostID string, knownDefective bool) {
+	if _, done := e.weak[hostID]; done {
+		return
+	}
+	frac := e.params.WeakFractionHealthy
+	if knownDefective {
+		frac = e.params.WeakFractionDefective
+	}
+	e.weak[hostID] = e.rng.Bernoulli("weak/"+hostID, frac)
+}
+
+// Weak reports the lottery outcome for a registered host.
+func (e *Engine) Weak(hostID string) bool { return e.weak[hostID] }
+
+// hazardPerHour computes a host's current transient hazard.
+func (e *Engine) hazardPerHour(hostID string, s Stress) float64 {
+	p := e.params
+	h := p.BaseTransientPerHour
+	if e.weak[hostID] {
+		h = p.WeakTransientPerHour
+	}
+	mult := 1.0
+	if s.CaseAir > p.HotCaseThreshold {
+		mult += p.HotCasePerDegree * float64(s.CaseAir-p.HotCaseThreshold)
+	}
+	mult += p.CyclingPerDegreePerHour * s.TempRatePerHour
+	if s.RH > p.ExtremeRHThreshold {
+		mult *= p.ExtremeRHFactor
+	}
+	if s.Condensing {
+		mult *= p.CondensationFactor
+	}
+	return h * mult
+}
+
+// StepHost advances one host by dt under the given stress and returns the
+// transient system failure event, if one occurred. The caller decides what
+// a failure does (crash, reset, relocation); the engine only samples and
+// logs it.
+func (e *Engine) StepHost(now time.Time, dt time.Duration, hostID string, s Stress) (*Event, error) {
+	if _, ok := e.weak[hostID]; !ok {
+		return nil, fmt.Errorf("failure: host %q not registered", hostID)
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("failure: non-positive step %v", dt)
+	}
+	h := e.hazardPerHour(hostID, s)
+	pFail := 1 - expNeg(h*dt.Hours())
+	if !e.rng.Bernoulli("host/"+hostID, pFail) {
+		return nil, nil
+	}
+	ev := Event{
+		At:        now,
+		SubjectID: hostID,
+		Component: System,
+		Kind:      Transient,
+		Detail:    fmt.Sprintf("system failure (hazard %.2e/h, ambient %v, case %v)", h, s.Ambient, s.CaseAir),
+	}
+	e.log = append(e.log, ev)
+	return &ev, nil
+}
+
+// RegisterSwitch draws the lifetime of a network switch. Whining units use
+// the short defective MTBF regardless of where they run — §4.2.1's
+// conclusion that "the problem is inherent in these individual switches".
+// It returns the switch's time to failure.
+func (e *Engine) RegisterSwitch(switchID string, whining bool) time.Duration {
+	mtbf := e.params.HealthySwitchMTBF
+	shape := 1.0
+	if whining {
+		mtbf = e.params.WhinySwitchMTBF
+		// Wear-out shape: the defect progresses, so failures cluster
+		// around the MTBF rather than being memoryless.
+		shape = 2.5
+	}
+	hours := e.rng.Weibull("switch/"+switchID, shape, mtbf.Hours())
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// LogSwitchFailure records a switch death at the given instant.
+func (e *Engine) LogSwitchFailure(now time.Time, switchID string) Event {
+	ev := Event{At: now, SubjectID: switchID, Component: NetSwitch, Kind: Hard,
+		Detail: "switch failure (defect inherent to the individual unit)"}
+	e.log = append(e.log, ev)
+	return ev
+}
+
+// CycleCorrupted samples whether one workload cycle that touches the given
+// number of memory pages suffers a silent corruption. ECC machines never
+// corrupt (single-bit errors are corrected); on non-ECC machines each page
+// operation fails independently with PageFailureRate.
+func (e *Engine) CycleCorrupted(hostID string, pages int64, ecc bool) bool {
+	if ecc || pages <= 0 {
+		return false
+	}
+	p := 1 - powOneMinus(e.params.PageFailureRate, pages)
+	return e.rng.Bernoulli("mem/"+hostID, p)
+}
+
+// LogMemoryCorruption records a bad-hash incident.
+func (e *Engine) LogMemoryCorruption(now time.Time, hostID string, detail string) Event {
+	ev := Event{At: now, SubjectID: hostID, Component: Memory, Kind: Transient, Detail: detail}
+	e.log = append(e.log, ev)
+	return ev
+}
+
+// Log returns all recorded events in time order.
+func (e *Engine) Log() []Event {
+	out := make([]Event, len(e.log))
+	copy(out, e.log)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// EventsFor returns the logged events for one subject.
+func (e *Engine) EventsFor(subjectID string) []Event {
+	var out []Event
+	for _, ev := range e.Log() {
+		if ev.SubjectID == subjectID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// expNeg computes exp(-x); x >= 0.
+func expNeg(x float64) float64 { return math.Exp(-x) }
+
+// powOneMinus computes (1-p)^n stably for tiny p and large n via
+// exp(n*log1p(-p)).
+func powOneMinus(p float64, n int64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Exp(float64(n) * math.Log1p(-p))
+}

@@ -1,0 +1,45 @@
+package monitor
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"frostlab/internal/wire"
+)
+
+// CollectInProcess runs one complete collection round between an agent and
+// a collector over an in-memory pipe, including the authenticated
+// handshake. It is the exact code path cmd/collectord runs over TCP, used
+// by the simulation (internal/core) and by tests, with deterministic
+// nonces derived from nonceLabel.
+func CollectInProcess(agent *Agent, coll *Collector, hostID string, psk []byte, nonceLabel string, now time.Time) (RoundStats, error) {
+	a, c := net.Pipe()
+	defer a.Close()
+	defer c.Close()
+	keys := wire.Keystore{hostID: psk}
+
+	var wg sync.WaitGroup
+	var agentSess *wire.Session
+	var agentErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		agentSess, agentErr = wire.Accept(a, keys, wire.CounterNonce(nonceLabel+"/agent"))
+	}()
+	collSess, dialErr := wire.Dial(c, hostID, psk, wire.CounterNonce(nonceLabel+"/collector"))
+	wg.Wait()
+	if dialErr != nil {
+		return RoundStats{}, dialErr
+	}
+	if agentErr != nil {
+		return RoundStats{}, agentErr
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- agent.Serve(agentSess) }()
+	stats, err := coll.CollectHost(collSess, hostID, now)
+	if err != nil {
+		return stats, err
+	}
+	return stats, <-serveDone
+}

@@ -1,0 +1,340 @@
+// Package monitor rebuilds the paper's monitoring plane (§3.5): a
+// monitoring host that "recovers all calculated md5sums and data gathered
+// from the local sensors every 20 minutes", authenticating with per-host
+// keys (the SSH public-key stand-in in internal/wire) and moving only new
+// file content (the rsync algorithm in internal/delta).
+//
+// Each monitored host runs an Agent exporting a FileStore of append-only
+// logs; the Collector mirrors every agent's store and synchronises it once
+// per collection round. Agent and Collector speak a small framed protocol
+// over a wire.Session and therefore run identically over an in-memory pipe
+// (inside the simulation) or real TCP sockets (cmd/collectord and
+// cmd/nodeagent).
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"frostlab/internal/delta"
+	"frostlab/internal/wire"
+)
+
+// CollectionPeriod is the paper's cadence: every 20 minutes.
+const CollectionPeriod = 20 * time.Minute
+
+// Standard log names used by the experiment.
+const (
+	// MD5Log records one line per workload cycle.
+	MD5Log = "md5sums.log"
+	// SensorLog records lm-sensors and S.M.A.R.T. readings.
+	SensorLog = "sensors.log"
+)
+
+// FileStore is a set of named append-only files. It is safe for concurrent
+// use, since a TCP agent serves collections while the host keeps logging.
+type FileStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFileStore returns an empty store.
+func NewFileStore() *FileStore {
+	return &FileStore{files: make(map[string][]byte)}
+}
+
+// Append adds data to the named file, creating it if needed.
+func (fs *FileStore) Append(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = append(fs.files[name], data...)
+}
+
+// Get returns a copy of the named file's content (nil if absent).
+func (fs *FileStore) Get(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if data, ok := fs.files[name]; ok {
+		return append([]byte(nil), data...)
+	}
+	return nil
+}
+
+// Put replaces the named file's content.
+func (fs *FileStore) Put(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = append([]byte(nil), data...)
+}
+
+// Names returns the sorted file names.
+func (fs *FileStore) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the named file's length.
+func (fs *FileStore) Size(name string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.files[name])
+}
+
+// Protocol frame types.
+const (
+	ftList     byte = 1 // collector -> agent: list files
+	ftListResp byte = 2 // agent -> collector: newline-joined names
+	ftSig      byte = 3 // collector -> agent: name + signature
+	ftDelta    byte = 4 // agent -> collector: name + delta
+	ftBye      byte = 5 // collector -> agent: round complete
+	ftError    byte = 6 // agent -> collector: error text
+)
+
+// ErrRemote carries an agent-reported error.
+var ErrRemote = errors.New("monitor: remote error")
+
+// encodeNamed prefixes a payload with a length-prefixed name.
+func encodeNamed(name string, payload []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(name)))
+	buf.Write(hdr[:])
+	buf.WriteString(name)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// decodeNamed splits a named payload.
+func decodeNamed(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("monitor: named payload too short (%d bytes)", len(p))
+	}
+	n := int(binary.BigEndian.Uint16(p[:2]))
+	if 2+n > len(p) {
+		return "", nil, fmt.Errorf("monitor: name of %d bytes exceeds payload", n)
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// Agent exports a host's FileStore to the collector.
+type Agent struct {
+	hostID string
+	store  *FileStore
+}
+
+// NewAgent returns an agent serving the given store.
+func NewAgent(hostID string, store *FileStore) *Agent {
+	return &Agent{hostID: hostID, store: store}
+}
+
+// Store returns the agent's file store.
+func (a *Agent) Store() *FileStore { return a.store }
+
+// Serve answers collector requests on the session until a bye frame or a
+// transport error. It returns nil on a clean bye.
+func (a *Agent) Serve(sess *wire.Session) error {
+	for {
+		ft, payload, err := sess.Recv()
+		if err != nil {
+			return fmt.Errorf("monitor: agent %s receiving: %w", a.hostID, err)
+		}
+		switch ft {
+		case ftList:
+			names := a.store.Names()
+			joined := ""
+			for i, n := range names {
+				if i > 0 {
+					joined += "\n"
+				}
+				joined += n
+			}
+			if err := sess.Send(ftListResp, []byte(joined)); err != nil {
+				return err
+			}
+		case ftSig:
+			name, sigBytes, err := decodeNamed(payload)
+			if err != nil {
+				if serr := sess.Send(ftError, []byte(err.Error())); serr != nil {
+					return serr
+				}
+				continue
+			}
+			sig, err := delta.UnmarshalSignature(sigBytes)
+			if err != nil {
+				if serr := sess.Send(ftError, []byte(err.Error())); serr != nil {
+					return serr
+				}
+				continue
+			}
+			d, err := delta.Compute(sig, a.store.Get(name))
+			if err != nil {
+				if serr := sess.Send(ftError, []byte(err.Error())); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if err := sess.Send(ftDelta, encodeNamed(name, d.Marshal())); err != nil {
+				return err
+			}
+		case ftBye:
+			return nil
+		default:
+			if err := sess.Send(ftError, []byte(fmt.Sprintf("unknown frame type %d", ft))); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// RoundStats summarises one collection round against one host.
+type RoundStats struct {
+	HostID string
+	At     time.Time
+	Files  int
+	// LiteralBytes is what actually travelled as new data.
+	LiteralBytes int
+	// TotalBytes is the mirrored corpus size — what a full copy would
+	// have cost.
+	TotalBytes int
+}
+
+// Savings returns the fraction of bytes the delta transfer avoided.
+func (rs RoundStats) Savings() float64 {
+	if rs.TotalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(rs.LiteralBytes)/float64(rs.TotalBytes)
+}
+
+// Collector mirrors the file stores of many hosts.
+type Collector struct {
+	mu        sync.Mutex
+	mirrors   map[string]*FileStore
+	blockSize int
+	history   []RoundStats
+}
+
+// NewCollector returns a collector using the given delta block size
+// (delta.DefaultBlockSize when 0).
+func NewCollector(blockSize int) *Collector {
+	if blockSize <= 0 {
+		blockSize = delta.DefaultBlockSize
+	}
+	return &Collector{mirrors: make(map[string]*FileStore), blockSize: blockSize}
+}
+
+// Mirror returns the collector's mirror of a host's store, creating it on
+// first use.
+func (c *Collector) Mirror(hostID string) *FileStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.mirrors[hostID]
+	if !ok {
+		m = NewFileStore()
+		c.mirrors[hostID] = m
+	}
+	return m
+}
+
+// History returns all completed rounds.
+func (c *Collector) History() []RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RoundStats, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// CollectHost performs one collection round over an established session:
+// list the agent's files, then signature/delta each one into the mirror.
+// The session is left open; the agent returns from Serve after the bye.
+func (c *Collector) CollectHost(sess *wire.Session, hostID string, now time.Time) (RoundStats, error) {
+	stats := RoundStats{HostID: hostID, At: now}
+	mirror := c.Mirror(hostID)
+	if err := sess.Send(ftList, nil); err != nil {
+		return stats, err
+	}
+	ft, payload, err := sess.Recv()
+	if err != nil {
+		return stats, err
+	}
+	if ft == ftError {
+		return stats, fmt.Errorf("%w: %s", ErrRemote, payload)
+	}
+	if ft != ftListResp {
+		return stats, fmt.Errorf("monitor: unexpected frame %d to list request", ft)
+	}
+	var names []string
+	if len(payload) > 0 {
+		names = splitLines(string(payload))
+	}
+	for _, name := range names {
+		old := mirror.Get(name)
+		sig, err := delta.NewSignature(old, c.blockSize)
+		if err != nil {
+			return stats, err
+		}
+		if err := sess.Send(ftSig, encodeNamed(name, sig.Marshal())); err != nil {
+			return stats, err
+		}
+		ft, payload, err := sess.Recv()
+		if err != nil {
+			return stats, err
+		}
+		if ft == ftError {
+			return stats, fmt.Errorf("%w: %s: %s", ErrRemote, name, payload)
+		}
+		if ft != ftDelta {
+			return stats, fmt.Errorf("monitor: unexpected frame %d to signature", ft)
+		}
+		rname, deltaBytes, err := decodeNamed(payload)
+		if err != nil {
+			return stats, err
+		}
+		if rname != name {
+			return stats, fmt.Errorf("monitor: delta for %q, requested %q", rname, name)
+		}
+		d, err := delta.UnmarshalDelta(deltaBytes)
+		if err != nil {
+			return stats, err
+		}
+		updated, err := delta.Apply(old, d)
+		if err != nil {
+			return stats, fmt.Errorf("monitor: applying delta for %s/%s: %w", hostID, name, err)
+		}
+		mirror.Put(name, updated)
+		stats.Files++
+		stats.LiteralBytes += d.LiteralBytes()
+		stats.TotalBytes += len(updated)
+	}
+	if err := sess.Send(ftBye, nil); err != nil {
+		return stats, err
+	}
+	c.mu.Lock()
+	c.history = append(c.history, stats)
+	c.mu.Unlock()
+	return stats, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

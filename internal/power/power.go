@@ -1,0 +1,190 @@
+// Package power models data-center energy use: the PUE arithmetic of the
+// paper's §5 (the department's new cluster and its cooling chain), and the
+// air-economizer comparison behind the paper's motivation (§1: "energy
+// savings from 40% to 67%, according to HP and Intel").
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"frostlab/internal/units"
+	"frostlab/internal/weather"
+)
+
+// CoolingUnit is one element of the cooling chain.
+type CoolingUnit struct {
+	Name string
+	Draw units.Watts
+}
+
+// Plant is an IT load plus its cooling chain.
+type Plant struct {
+	Name string
+	// ITLoad is the computing equipment's draw.
+	ITLoad units.Watts
+	// Cooling lists the units whose draw is attributable to cooling the
+	// IT load.
+	Cooling []CoolingUnit
+}
+
+// CoolingDraw sums the cooling chain's power.
+func (p Plant) CoolingDraw() units.Watts {
+	var sum units.Watts
+	for _, c := range p.Cooling {
+		sum += c.Draw
+	}
+	return sum
+}
+
+// PUE returns the power usage effectiveness: total facility power over IT
+// power. §5 computes 1.74 for the new cluster by "just summing those
+// figures up".
+func (p Plant) PUE() (float64, error) {
+	if p.ITLoad <= 0 {
+		return 0, fmt.Errorf("power: plant %q has no IT load", p.Name)
+	}
+	return float64(p.ITLoad+p.CoolingDraw()) / float64(p.ITLoad), nil
+}
+
+// ReferenceCluster is the §5 inventory: a 75 kW cluster cooled by three
+// new CRAC units (6.9 kW total), a chilled-water HVAC unit (44.7 kW
+// specified draw) and a roof liquid cooling unit (3.8 kW).
+func ReferenceCluster() Plant {
+	return Plant{
+		Name:   "CS department cluster (2010)",
+		ITLoad: 75_000,
+		Cooling: []CoolingUnit{
+			{Name: "3x CRAC", Draw: 6_900},
+			{Name: "chilled water unit (HVAC room)", Draw: 44_700},
+			{Name: "roof liquid cooling unit", Draw: 3_800},
+		},
+	}
+}
+
+// SharedLoadPUE models §5's caveat: the existing CRACs absorb some of the
+// new thermal load, so the real PUE is *worse* than the naive sum. The
+// extra draw attributed to the old CRACs is their efficiency (W of
+// electricity per W of heat moved) times the share of the IT load they
+// carry.
+func SharedLoadPUE(p Plant, existingCRACShare float64, existingCRACEfficiency float64) (float64, error) {
+	if existingCRACShare < 0 || existingCRACShare > 1 {
+		return 0, fmt.Errorf("power: CRAC share %v out of [0,1]", existingCRACShare)
+	}
+	if existingCRACEfficiency < 0 {
+		return 0, fmt.Errorf("power: negative CRAC efficiency")
+	}
+	base, err := p.PUE()
+	if err != nil {
+		return 0, err
+	}
+	extra := float64(p.ITLoad) * existingCRACShare * existingCRACEfficiency
+	return base + extra/float64(p.ITLoad), nil
+}
+
+// Published savings anchors from the paper's §1.
+const (
+	// IntelReportedSavings is Intel's air-economizer proof of concept [1].
+	IntelReportedSavings = 0.67
+	// HPReportedSavings is HP's Wynyard figure [3].
+	HPReportedSavings = 0.40
+)
+
+// Economizer models an air-side economizer: whenever outside air is cold
+// enough to carry the heat load, compressors stay off and only fans run.
+type Economizer struct {
+	// FreeCoolingBelow is the outside temperature below which outside air
+	// alone cools the load (supply setpoint minus heat-exchange approach).
+	FreeCoolingBelow units.Celsius
+	// FanFraction is fan power as a fraction of IT load while free
+	// cooling.
+	FanFraction float64
+	// MechanicalCOP is the chiller's coefficient of performance when
+	// compressors must run.
+	MechanicalCOP float64
+}
+
+// DefaultEconomizer matches Intel's proof-of-concept configuration: free
+// cooling below about 24 °C supply (they allowed up to ~32 °C with
+// degraded margins), ~5 % fan overhead, COP 3 chillers.
+func DefaultEconomizer() Economizer {
+	return Economizer{FreeCoolingBelow: 21, FanFraction: 0.06, MechanicalCOP: 3}
+}
+
+// Validate checks the configuration.
+func (e Economizer) Validate() error {
+	if e.FanFraction < 0 || e.FanFraction > 1 {
+		return fmt.Errorf("power: fan fraction %v out of [0,1]", e.FanFraction)
+	}
+	if e.MechanicalCOP <= 0 {
+		return fmt.Errorf("power: COP must be positive")
+	}
+	return nil
+}
+
+// CoolingPowerAt returns the economizer's draw for the given IT load and
+// outside temperature.
+func (e Economizer) CoolingPowerAt(itLoad units.Watts, outside units.Celsius) units.Watts {
+	fans := units.Watts(float64(itLoad) * e.FanFraction)
+	if outside < e.FreeCoolingBelow {
+		return fans
+	}
+	return fans + units.Watts(float64(itLoad)/e.MechanicalCOP)
+}
+
+// ConventionalCoolingPower is the always-mechanical baseline: chiller plus
+// the same fan overhead, independent of weather.
+func (e Economizer) ConventionalCoolingPower(itLoad units.Watts) units.Watts {
+	return units.Watts(float64(itLoad)*e.FanFraction) + units.Watts(float64(itLoad)/e.MechanicalCOP)
+}
+
+// Comparison is the result of an economizer-vs-conventional study.
+type Comparison struct {
+	// FreeCoolingFraction is the share of time outside air sufficed.
+	FreeCoolingFraction float64
+	// EconomizerEnergy and ConventionalEnergy are the cooling energies
+	// over the study period.
+	EconomizerEnergy   units.KilowattHours
+	ConventionalEnergy units.KilowattHours
+	// Savings = 1 - economizer/conventional.
+	Savings float64
+	// EconomizerPUE and ConventionalPUE are period-average PUEs.
+	EconomizerPUE   float64
+	ConventionalPUE float64
+}
+
+// Compare evaluates both cooling strategies for an IT load against a
+// weather model over [from, to) sampled at step.
+func (e Economizer) Compare(m weather.Model, itLoad units.Watts, from, to time.Time, step time.Duration) (Comparison, error) {
+	if err := e.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if itLoad <= 0 {
+		return Comparison{}, fmt.Errorf("power: non-positive IT load %v", itLoad)
+	}
+	if step <= 0 || !to.After(from) {
+		return Comparison{}, fmt.Errorf("power: bad study window [%v, %v) step %v", from, to, step)
+	}
+	var c Comparison
+	hours := step.Hours()
+	var free, total int
+	for at := from; at.Before(to); at = at.Add(step) {
+		outside := m.At(at).Temp
+		econ := e.CoolingPowerAt(itLoad, outside)
+		conv := e.ConventionalCoolingPower(itLoad)
+		c.EconomizerEnergy += econ.Energy(hours)
+		c.ConventionalEnergy += conv.Energy(hours)
+		if outside < e.FreeCoolingBelow {
+			free++
+		}
+		total++
+	}
+	c.FreeCoolingFraction = float64(free) / float64(total)
+	if c.ConventionalEnergy > 0 {
+		c.Savings = 1 - float64(c.EconomizerEnergy)/float64(c.ConventionalEnergy)
+	}
+	itEnergy := itLoad.Energy(to.Sub(from).Hours())
+	c.EconomizerPUE = float64(itEnergy+c.EconomizerEnergy) / float64(itEnergy)
+	c.ConventionalPUE = float64(itEnergy+c.ConventionalEnergy) / float64(itEnergy)
+	return c, nil
+}

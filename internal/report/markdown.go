@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"frostlab/internal/core"
+)
+
+// Markdown renders a complete, self-contained run report in GitHub-style
+// markdown: the summary, every figure (as fenced code blocks) and every
+// table, plus the §5 analyses. frostctl writes it with -md; it is also
+// how EXPERIMENTS.md-style documents are produced from fresh runs.
+func Markdown(r *core.Results) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# frostlab run report\n\n")
+	fmt.Fprintf(&b, "Reproduction of *Running Servers around Zero Degrees* (GreenNetworking 2010).\n\n")
+	fmt.Fprintf(&b, "| | |\n|---|---|\n")
+	fmt.Fprintf(&b, "| seed | `%s` |\n", r.Seed)
+	fmt.Fprintf(&b, "| window | %s – %s |\n", r.Start.Format("2006-01-02"), r.End.Format("2006-01-02"))
+	fmt.Fprintf(&b, "| hosts | %d |\n", len(r.Hosts))
+	fmt.Fprintf(&b, "| workload cycles | %d |\n", r.TotalCycles)
+	fmt.Fprintf(&b, "| wrong hashes | %d |\n", len(r.WrongHashes))
+	fmt.Fprintf(&b, "| initial host failure rate | %s |\n", r.InitialHostFailureRate)
+	fmt.Fprintf(&b, "| tent energy | %.1f kWh |\n", float64(r.TentEnergy))
+	fmt.Fprintf(&b, "| S.M.A.R.T. long tests | %d passed, %d failed |\n\n",
+		r.SMARTLongTestsPassed, r.SMARTLongTestsFailed)
+
+	fenced := func(title, body string) {
+		fmt.Fprintf(&b, "## %s\n\n```text\n%s```\n\n", title, ensureNewline(body))
+	}
+
+	fig2, err := Fig2Timeline(r)
+	if err != nil {
+		return "", err
+	}
+	fenced("Fig. 2 — installation timeline", fig2)
+
+	fig3, err := Fig3Temperatures(r)
+	if err != nil {
+		return "", err
+	}
+	fenced("Fig. 3 — temperatures", fig3)
+
+	fig4, err := Fig4Humidity(r)
+	if err != nil {
+		return "", err
+	}
+	fenced("Fig. 4 — relative humidities", fig4)
+
+	fenced("Failure rates (§4)", TableFailureRates(r))
+	fenced("Wrong hashes (§4.2.2)", TableWrongHashes(r))
+	fenced("Memory soft-error model (§4.2.2)", TableMemoryModel(r))
+	fenced("lm-sensors fault sequence (§4.2.1)", TableSensorFault(r))
+	if r.MonitorRounds > 0 {
+		fenced("Monitoring plane (§3.5)", TableMonitoring(r))
+	}
+	pue, err := TablePUE()
+	if err != nil {
+		return "", err
+	}
+	fenced("PUE (§5)", pue)
+
+	analyses, err := RunAnalyses(r)
+	if err != nil {
+		return "", err
+	}
+	fenced("Discussion analyses (§5)", analyses)
+
+	fmt.Fprintf(&b, "## Event log\n\n```text\n%s```\n", ensureNewline(EventLog(r)))
+	return b.String(), nil
+}
+
+func ensureNewline(s string) string {
+	if !strings.HasSuffix(s, "\n") {
+		return s + "\n"
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+// Package report renders frostlab results as the paper's figures and
+// tables: ASCII time-series plots for Figs. 3 and 4, the Fig. 2
+// installation timeline, the tent schematic of Fig. 1, and aligned text
+// tables for the failure, wrong-hash, memory-model, PUE and economizer
+// numbers. Everything renders to plain strings so the same output works in
+// a terminal, a log file, or EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"frostlab/internal/timeseries"
+)
+
+// Marker labels an instant on a plot's time axis, like the R/I/B/F letters
+// under the paper's Fig. 3.
+type Marker struct {
+	At    time.Time
+	Label string
+}
+
+// PlotConfig shapes an ASCII plot.
+type PlotConfig struct {
+	Width, Height int
+	// YLabel names the value axis (e.g. "°C").
+	YLabel string
+	// Markers are drawn beneath the time axis.
+	Markers []Marker
+}
+
+// DefaultPlotConfig is 100x20 with no markers.
+func DefaultPlotConfig(ylabel string) PlotConfig {
+	return PlotConfig{Width: 100, Height: 20, YLabel: ylabel}
+}
+
+// Plot renders one or more series on a shared time/value grid. Each series
+// draws with its own rune; a legend line maps runes to series names. Gaps
+// (like the missing early Lascar data) simply have no glyphs.
+func Plot(cfg PlotConfig, series ...*timeseries.Series) (string, error) {
+	if cfg.Width < 20 || cfg.Height < 5 {
+		return "", fmt.Errorf("report: plot too small (%dx%d)", cfg.Width, cfg.Height)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: no series to plot")
+	}
+	glyphs := []rune{'*', 'o', '+', 'x', '#', '@'}
+	// Establish shared ranges.
+	var tMin, tMax time.Time
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if s.Len() == 0 {
+			continue
+		}
+		first, _ := s.First()
+		last, _ := s.Last()
+		if !any || first.At.Before(tMin) {
+			tMin = first.At
+		}
+		if !any || last.At.After(tMax) {
+			tMax = last.At
+		}
+		sum, err := s.Summarize()
+		if err != nil {
+			return "", err
+		}
+		vMin = math.Min(vMin, sum.Min)
+		vMax = math.Max(vMax, sum.Max)
+		any = true
+	}
+	if !any {
+		return "", fmt.Errorf("report: all series empty")
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	span := tMax.Sub(tMin)
+	if span <= 0 {
+		span = time.Second
+	}
+
+	grid := make([][]rune, cfg.Height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", cfg.Width))
+	}
+	col := func(at time.Time) int {
+		c := int(float64(at.Sub(tMin)) / float64(span) * float64(cfg.Width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cfg.Width {
+			c = cfg.Width - 1
+		}
+		return c
+	}
+	row := func(v float64) int {
+		r := int((vMax - v) / (vMax - vMin) * float64(cfg.Height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= cfg.Height {
+			r = cfg.Height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points() {
+			grid[row(p.Value)][col(p.At)] = g
+		}
+	}
+
+	var b strings.Builder
+	// Y axis with three tick labels.
+	label := func(v float64) string { return fmt.Sprintf("%7.1f", v) }
+	for i, line := range grid {
+		switch i {
+		case 0:
+			b.WriteString(label(vMax))
+		case cfg.Height / 2:
+			b.WriteString(label((vMax + vMin) / 2))
+		case cfg.Height - 1:
+			b.WriteString(label(vMin))
+		default:
+			b.WriteString(strings.Repeat(" ", 7))
+		}
+		b.WriteString(" |")
+		b.WriteString(string(line))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 7) + " +" + strings.Repeat("-", cfg.Width) + "\n")
+
+	// Marker line.
+	if len(cfg.Markers) > 0 {
+		marks := []rune(strings.Repeat(" ", cfg.Width))
+		for _, m := range cfg.Markers {
+			if m.At.Before(tMin) || m.At.After(tMax) || len(m.Label) == 0 {
+				continue
+			}
+			c := col(m.At)
+			for j, r := range m.Label {
+				if c+j < cfg.Width {
+					marks[c+j] = r
+				}
+			}
+		}
+		b.WriteString(strings.Repeat(" ", 9) + string(marks) + "\n")
+	}
+
+	// Time axis labels: start, middle, end.
+	const stamp = "Jan 02 15:04"
+	axis := fmt.Sprintf("%-*s%s", cfg.Width-len(stamp)+2, tMin.Format(stamp), tMax.Format(stamp))
+	mid := tMin.Add(span / 2).Format(stamp)
+	midPos := cfg.Width/2 - len(mid)/2 + 9
+	b.WriteString(strings.Repeat(" ", 9) + axis + "\n")
+	b.WriteString(strings.Repeat(" ", midPos) + mid + "\n")
+
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name()))
+	}
+	b.WriteString("  " + strings.Join(legend, "   "))
+	if cfg.YLabel != "" {
+		b.WriteString("   [" + cfg.YLabel + "]")
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// Table renders rows as an aligned text table with a header rule.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Gantt renders a Fig. 2-style installation timeline: one row per subject,
+// a bar from its start to the horizon, and date ticks.
+func Gantt(start, end time.Time, rows []GanttRow, width int) (string, error) {
+	if width < 30 {
+		return "", fmt.Errorf("report: gantt too narrow (%d)", width)
+	}
+	if !end.After(start) {
+		return "", fmt.Errorf("report: gantt window inverted")
+	}
+	sorted := append([]GanttRow(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].From.Equal(sorted[j].From) {
+			return sorted[i].Label < sorted[j].Label
+		}
+		return sorted[i].From.Before(sorted[j].From)
+	})
+	span := float64(end.Sub(start))
+	col := func(at time.Time) int {
+		c := int(float64(at.Sub(start)) / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for _, r := range sorted {
+		if r.From.After(end) {
+			continue
+		}
+		line := []rune(strings.Repeat(" ", width))
+		from := col(r.From)
+		to := width - 1
+		if !r.To.IsZero() && r.To.Before(end) {
+			to = col(r.To)
+		}
+		for c := from; c <= to && c < width; c++ {
+			line[c] = '='
+		}
+		line[from] = '|'
+		if to > from && !r.To.IsZero() && r.To.Before(end) {
+			line[to] = '|'
+		}
+		fmt.Fprintf(&b, "%-6s %s\n", r.Label, string(line))
+	}
+	// Date ticks: start, end, plus the 1st of each month inside.
+	ticks := []rune(strings.Repeat(" ", width))
+	stampAt := func(at time.Time) {
+		c := col(at)
+		for j, r := range at.Format("Jan 02") {
+			if c+j < width {
+				ticks[c+j] = r
+			}
+		}
+	}
+	stampAt(start)
+	stampAt(end.Add(-6 * 24 * time.Hour)) // keep the label inside the frame
+	fmt.Fprintf(&b, "%-6s %s\n", "", string(ticks))
+	return b.String(), nil
+}
+
+// GanttRow is one bar of a Gantt chart. A zero To runs to the horizon.
+type GanttRow struct {
+	Label    string
+	From, To time.Time
+}

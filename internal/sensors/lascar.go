@@ -1,0 +1,130 @@
+package sensors
+
+import (
+	"fmt"
+	"time"
+
+	"frostlab/internal/simkernel"
+	"frostlab/internal/timeseries"
+	"frostlab/internal/units"
+)
+
+// LascarSpec holds the datasheet error bounds of the Lascar EL-USB-2-LCD
+// data logger used inside the tent (§3.3): ±0.5 °C, ±3.0 %RH typical;
+// ±2 °C, ±6.0 %RH maximum.
+type LascarSpec struct {
+	TempTypical units.Celsius
+	TempMax     units.Celsius
+	RHTypical   units.RelHumidity
+	RHMax       units.RelHumidity
+}
+
+// ELUSB2Spec is the datasheet of the unit the paper used.
+var ELUSB2Spec = LascarSpec{TempTypical: 0.5, TempMax: 2, RHTypical: 3, RHMax: 6}
+
+// Environment is the air the logger sits in; satisfied by
+// thermal.Environment.
+type Environment interface {
+	Air() (units.Celsius, units.RelHumidity)
+}
+
+// Lascar emulates the data logger. It samples the environment it sits in
+// at a fixed interval, applying per-unit calibration offset plus read
+// noise, both within the datasheet bounds. A Readout models the manual
+// USB readout trip: the logger is carried indoors, records a few indoor
+// samples (the outliers the paper removed from its graphs), and is brought
+// back.
+type Lascar struct {
+	spec     LascarSpec
+	rng      *simkernel.RNG
+	env      Environment
+	interval time.Duration
+
+	// ArrivesAt models the unit's delayed delivery: samples before this
+	// instant are never taken (the missing early data of Fig. 3/4).
+	arrivesAt time.Time
+
+	calTemp units.Celsius     // per-unit calibration offset
+	calRH   units.RelHumidity // per-unit calibration offset
+
+	indoorUntil time.Time
+
+	Temp *timeseries.Series
+	RH   *timeseries.Series
+}
+
+// IndoorConditions is what the logger records while carried to the office
+// for readout.
+var IndoorConditions = struct {
+	Temp units.Celsius
+	RH   units.RelHumidity
+}{Temp: 21.5, RH: 30}
+
+// NewLascar returns a logger sampling env every interval, delivered (and
+// deployed) at arrivesAt. The per-unit calibration offsets are drawn once,
+// uniformly within the typical datasheet bounds.
+func NewLascar(spec LascarSpec, rng *simkernel.RNG, env Environment, interval time.Duration, arrivesAt time.Time) (*Lascar, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sensors: lascar needs a positive interval, got %v", interval)
+	}
+	if env == nil {
+		return nil, fmt.Errorf("sensors: lascar needs an environment")
+	}
+	return &Lascar{
+		spec:      spec,
+		rng:       rng,
+		env:       env,
+		interval:  interval,
+		arrivesAt: arrivesAt,
+		calTemp:   units.Celsius(rng.Uniform("lascar/cal_t", -float64(spec.TempTypical), float64(spec.TempTypical))),
+		calRH:     units.RelHumidity(rng.Uniform("lascar/cal_rh", -float64(spec.RHTypical), float64(spec.RHTypical))),
+		Temp:      timeseries.New("tent_inside_temp", "°C"),
+		RH:        timeseries.New("tent_inside_rh", "%RH"),
+	}, nil
+}
+
+// ArrivesAt returns the delivery instant.
+func (l *Lascar) ArrivesAt() time.Time { return l.arrivesAt }
+
+// Install registers the logger's sampling task on the scheduler. Sampling
+// starts at the later of start and the delivery date.
+func (l *Lascar) Install(sched *simkernel.Scheduler, start time.Time) error {
+	if start.Before(l.arrivesAt) {
+		start = l.arrivesAt
+	}
+	_, err := sched.Periodic(start, l.interval, nil, l.Sample)
+	return err
+}
+
+// BeginReadout marks the logger as carried indoors for USB readout until
+// the given instant. Samples taken in between record office air — the
+// outliers §3.3 says were removed from the graphs.
+func (l *Lascar) BeginReadout(until time.Time) { l.indoorUntil = until }
+
+// Sample takes one reading at the given simulated instant.
+func (l *Lascar) Sample(now time.Time) {
+	if now.Before(l.arrivesAt) {
+		return
+	}
+	var temp units.Celsius
+	var rh units.RelHumidity
+	if now.Before(l.indoorUntil) {
+		temp, rh = IndoorConditions.Temp, IndoorConditions.RH
+	} else {
+		temp, rh = l.env.Air()
+	}
+	// Read noise: a third of the typical bound as 1-sigma keeps ~99.7% of
+	// reads within datasheet-typical error.
+	temp += l.calTemp + units.Celsius(l.rng.Normal("lascar/noise_t", 0, float64(l.spec.TempTypical)/3))
+	rh = (rh + l.calRH + units.RelHumidity(l.rng.Normal("lascar/noise_rh", 0, float64(l.spec.RHTypical)/3))).Clamp()
+	_ = l.Temp.Append(now, float64(temp))
+	_ = l.RH.Append(now, float64(rh))
+}
+
+// CleanedSeries returns the logger's temperature and humidity records with
+// readout outliers removed, the way the paper prepared Figs. 3 and 4.
+func (l *Lascar) CleanedSeries() (temp, rh *timeseries.Series) {
+	t, _ := l.Temp.RemoveOutliers(6, 4)
+	h, _ := l.RH.RemoveOutliers(6, 4)
+	return t, h
+}

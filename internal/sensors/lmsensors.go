@@ -1,0 +1,158 @@
+// Package sensors emulates the instruments of the experiment: the
+// motherboard sensor chips read through Linux' lm-sensors package, the
+// Lascar EL-USB-2-LCD temperature/humidity data logger inside the tent,
+// hard drive S.M.A.R.T. self-monitoring, and the Technoline Cost Control
+// power meter.
+//
+// The emulations reproduce the instruments' documented error bounds and —
+// importantly for reproducing the paper — their *failure behaviours*:
+// §4.2.1's sensor chip that reported −111 °C after extreme cold, stopped
+// being detected after a redetection attempt, and recovered only after a
+// warm reboot; and the Lascar logger whose manual USB readout trips insert
+// indoor-temperature outliers into the record.
+package sensors
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"frostlab/internal/simkernel"
+	"frostlab/internal/units"
+)
+
+// ChipState is the lm-sensors chip's health state.
+type ChipState int
+
+// The §4.2.1 sensor chip state machine.
+const (
+	// ChipHealthy: readings are accurate within noise.
+	ChipHealthy ChipState = iota
+	// ChipGlitching: the chip reports "clearly erroneous readings of
+	// −111 °C" after operating in extreme cold.
+	ChipGlitching
+	// ChipUndetected: a redetection attempt made the chip "cease to be
+	// detected at all"; reads fail.
+	ChipUndetected
+)
+
+// String names the state.
+func (s ChipState) String() string {
+	switch s {
+	case ChipHealthy:
+		return "healthy"
+	case ChipGlitching:
+		return "glitching"
+	case ChipUndetected:
+		return "undetected"
+	default:
+		return fmt.Sprintf("ChipState(%d)", int(s))
+	}
+}
+
+// ErrChipNotDetected is returned by Read while the chip is undetected.
+var ErrChipNotDetected = errors.New("sensors: chip not detected")
+
+// BogusReading is the impossible value the failed chip reported (§4.2.1).
+const BogusReading units.Celsius = -111
+
+// ChipConfig tunes the sensor chip emulation.
+type ChipConfig struct {
+	// NoiseSigma is the 1-sigma read noise, °C.
+	NoiseSigma float64
+	// GlitchBelow is the chip temperature below which cold exposure
+	// accumulates toward a glitch.
+	GlitchBelow units.Celsius
+	// GlitchAfter is how much cumulative exposure below GlitchBelow
+	// triggers the glitching state.
+	GlitchAfter time.Duration
+}
+
+// DefaultChipConfig reproduces §4.2.1: the chip began misbehaving after
+// "the initial period in the most extreme cold", having reported CPU
+// temperatures below −4 °C while outside air reached −22 °C.
+func DefaultChipConfig() ChipConfig {
+	return ChipConfig{
+		NoiseSigma:  0.5,
+		GlitchBelow: -1,
+		GlitchAfter: 10 * time.Hour,
+	}
+}
+
+// Chip emulates one motherboard sensor chip as read via lm-sensors.
+type Chip struct {
+	cfg      ChipConfig
+	rng      *simkernel.RNG
+	stream   string
+	state    ChipState
+	coldTime time.Duration
+	// susceptible chips (a per-individual lottery) are the only ones that
+	// ever glitch; the paper saw exactly one chip fail across 19 hosts.
+	susceptible bool
+}
+
+// NewChip returns a chip emulation. susceptibility controls the fraction
+// of individual chips that can develop the cold glitch at all.
+func NewChip(cfg ChipConfig, rng *simkernel.RNG, hostID string, susceptibility float64) *Chip {
+	stream := "chip/" + hostID
+	return &Chip{
+		cfg:         cfg,
+		rng:         rng,
+		stream:      stream,
+		susceptible: rng.Bernoulli(stream+"/lottery", susceptibility),
+	}
+}
+
+// State returns the chip's current health state.
+func (c *Chip) State() ChipState { return c.state }
+
+// Susceptible reports whether this individual can ever develop the glitch.
+func (c *Chip) Susceptible() bool { return c.susceptible }
+
+// Observe advances the chip's internal condition by dt at the given true
+// die temperature. Cold exposure accumulates; warm operation does not heal
+// a glitching chip (only a warm reboot does).
+func (c *Chip) Observe(dt time.Duration, trueTemp units.Celsius) {
+	if c.state != ChipHealthy || !c.susceptible {
+		return
+	}
+	if trueTemp < c.cfg.GlitchBelow {
+		c.coldTime += dt
+		if c.coldTime >= c.cfg.GlitchAfter {
+			c.state = ChipGlitching
+		}
+	}
+}
+
+// Read returns the chip's reported CPU temperature for the given true die
+// temperature. A glitching chip returns the bogus −111 °C; an undetected
+// chip returns ErrChipNotDetected.
+func (c *Chip) Read(trueTemp units.Celsius) (units.Celsius, error) {
+	switch c.state {
+	case ChipUndetected:
+		return 0, ErrChipNotDetected
+	case ChipGlitching:
+		return BogusReading, nil
+	default:
+		noise := c.rng.Normal(c.stream+"/noise", 0, c.cfg.NoiseSigma)
+		return trueTemp + units.Celsius(noise), nil
+	}
+}
+
+// Redetect models re-probing the chip with hopes of resetting it. On a
+// glitching chip this backfires exactly as in the paper: "the opposite
+// resulted, and the sensor chip ceased to be detected at all". On a
+// healthy chip it is harmless.
+func (c *Chip) Redetect() {
+	if c.state == ChipGlitching {
+		c.state = ChipUndetected
+	}
+}
+
+// WarmReboot models the risked warm system reboot "which caused the sensor
+// chip to work again". It clears any failure state and the cold-exposure
+// accumulator.
+func (c *Chip) WarmReboot() {
+	c.state = ChipHealthy
+	c.coldTime = 0
+}

@@ -1,0 +1,239 @@
+// Package simkernel is frostlab's deterministic discrete-event simulation
+// core. It provides a simulated clock, an event queue ordered by simulated
+// time, periodic tasks with start-time fuzz (the paper's 0–119 s sleep
+// before each workload cycle), and named, seeded random number streams so
+// that every run of an experiment is exactly reproducible.
+//
+// Nothing in this package reads the wall clock: simulated time advances only
+// when the scheduler dispatches events.
+package simkernel
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Clock exposes the current simulated time. The Scheduler implements it;
+// components that only need to *read* time should depend on Clock, not on
+// the full Scheduler.
+type Clock interface {
+	// Now returns the current simulated instant.
+	Now() time.Time
+}
+
+// Event is a scheduled callback. Fire runs at the event's due time with the
+// scheduler's clock already advanced to that time.
+type Event struct {
+	due  time.Time
+	seq  uint64 // tie-breaker: FIFO among equal due times
+	fire func(now time.Time)
+	// canceled events stay in the heap but are skipped on pop; this keeps
+	// cancellation O(1).
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Due returns the simulated instant the event is scheduled for.
+func (e *Event) Due() time.Time { return e.due }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].due.Equal(h[j].due) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].due.Before(h[j].due)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event scheduler. It is not safe for concurrent
+// use: the simulation is single-threaded by design, which is what makes it
+// deterministic.
+type Scheduler struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	nFired uint64
+}
+
+// ErrPast reports an attempt to schedule an event before the current
+// simulated time.
+var ErrPast = errors.New("simkernel: event scheduled in the past")
+
+// NewScheduler returns a scheduler whose clock starts at the given instant.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Pending returns the number of events waiting in the queue, including
+// canceled ones that have not yet been skipped.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the number of events dispatched so far.
+func (s *Scheduler) Fired() uint64 { return s.nFired }
+
+// At schedules fire to run at the absolute simulated instant t.
+func (s *Scheduler) At(t time.Time, fire func(now time.Time)) (*Event, error) {
+	if t.Before(s.now) {
+		return nil, fmt.Errorf("%w: %v < now %v", ErrPast, t, s.now)
+	}
+	e := &Event{due: t, seq: s.seq, fire: fire}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// After schedules fire to run d after the current simulated time.
+func (s *Scheduler) After(d time.Duration, fire func(now time.Time)) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("%w: negative delay %v", ErrPast, d)
+	}
+	return s.At(s.now.Add(d), fire)
+}
+
+// Step dispatches the next pending event, advancing the clock to its due
+// time. It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.due
+		s.nFired++
+		e.fire(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil dispatches events in order until the queue is empty or the next
+// event is due after the deadline. The clock is finally advanced to the
+// deadline itself, so periodic models observe a definite end time.
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.due.After(deadline) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+}
+
+// RunAll dispatches every pending event. It guards against runaway
+// self-rescheduling with a generous cap and returns an error if the cap is
+// reached.
+func (s *Scheduler) RunAll(maxEvents uint64) error {
+	var n uint64
+	for s.Step() {
+		n++
+		if n >= maxEvents {
+			return fmt.Errorf("simkernel: RunAll exceeded %d events", maxEvents)
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Periodic schedules fire every period, starting at start plus a per-cycle
+// fuzz drawn from fuzz (which may be nil for none). This mirrors the
+// paper's workload scheduling: a 10-minute cycle where each host sleeps
+// 0–119 seconds before commencing work. The returned Task can be stopped.
+func (s *Scheduler) Periodic(start time.Time, period time.Duration, fuzz func() time.Duration, fire func(now time.Time)) (*Task, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("simkernel: non-positive period %v", period)
+	}
+	t := &Task{sched: s, period: period, fuzz: fuzz, fire: fire}
+	if err := t.scheduleNext(start); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Task is a recurring scheduled activity created by Scheduler.Periodic.
+type Task struct {
+	sched   *Scheduler
+	period  time.Duration
+	fuzz    func() time.Duration
+	fire    func(now time.Time)
+	next    *Event
+	base    time.Time
+	stopped bool
+	cycles  uint64
+}
+
+// Cycles returns how many times the task has fired.
+func (t *Task) Cycles() uint64 { return t.cycles }
+
+// Stop prevents all future firings.
+func (t *Task) Stop() {
+	t.stopped = true
+	t.next.Cancel()
+}
+
+func (t *Task) scheduleNext(base time.Time) error {
+	t.base = base
+	due := base
+	if t.fuzz != nil {
+		f := t.fuzz()
+		if f < 0 {
+			f = 0
+		}
+		due = due.Add(f)
+	}
+	if due.Before(t.sched.Now()) {
+		due = t.sched.Now()
+	}
+	ev, err := t.sched.At(due, func(now time.Time) {
+		if t.stopped {
+			return
+		}
+		t.cycles++
+		t.fire(now)
+		if !t.stopped {
+			// The next cycle is anchored to the un-fuzzed base, so fuzz
+			// does not accumulate drift across cycles.
+			_ = t.scheduleNext(t.base.Add(t.period))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	t.next = ev
+	return nil
+}

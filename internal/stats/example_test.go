@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"frostlab/internal/stats"
+)
+
+// The paper's central statistical situation: with one failure among nine
+// tent hosts and none among nine controls, can the cold be blamed?
+func ExampleFisherExact() {
+	p, _ := stats.FisherExact(1, 8, 0, 9)
+	fmt.Printf("Fisher's exact p = %.2f: no evidence against the tent\n", p)
+	// Output:
+	// Fisher's exact p = 1.00: no evidence against the tent
+}
+
+func ExampleRate_WilsonInterval() {
+	rate := stats.Rate{Events: 1, Trials: 18} // §4's 5.6%
+	lo, hi, _ := rate.WilsonInterval()
+	fmt.Printf("%s, 95%% CI [%.1f%%, %.1f%%]\n", rate, lo*100, hi*100)
+	// Output:
+	// 5.56% (1/18), 95% CI [1.0%, 25.8%]
+}

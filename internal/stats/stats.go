@@ -1,0 +1,328 @@
+// Package stats provides the statistical machinery the experiment's
+// analysis needs: descriptive summaries, histograms, binomial rate
+// estimates with Wilson confidence intervals (used to compare the tent's
+// 5.6 % host failure rate with the control group's 0 % and Intel's
+// 4.46 %), two-proportion tests, linear regression, and bootstrap
+// resampling.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"frostlab/internal/simkernel"
+)
+
+// ErrEmpty reports a computation over no data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Describe holds descriptive statistics of a sample.
+type Describe struct {
+	N                  int
+	Mean, Stddev       float64
+	Min, Max           float64
+	Median             float64
+	P05, P25, P75, P95 float64
+}
+
+// Summarize computes descriptive statistics.
+func Summarize(xs []float64) (Describe, error) {
+	if len(xs) == 0 {
+		return Describe{}, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	d := Describe{N: len(s), Min: s[0], Max: s[len(s)-1]}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	d.Mean = sum / float64(d.N)
+	var sq float64
+	for _, x := range s {
+		sq += (x - d.Mean) * (x - d.Mean)
+	}
+	if d.N > 1 {
+		d.Stddev = math.Sqrt(sq / float64(d.N-1))
+	}
+	d.Median = Quantile(s, 0.5)
+	d.P05 = Quantile(s, 0.05)
+	d.P25 = Quantile(s, 0.25)
+	d.P75 = Quantile(s, 0.75)
+	d.P95 = Quantile(s, 0.95)
+	return d, nil
+}
+
+// Quantile returns the q-quantile (0..1) of sorted data by linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Rate is a binomial proportion with its sample size.
+type Rate struct {
+	Events int
+	Trials int
+}
+
+// Value returns the point estimate.
+func (r Rate) Value() float64 {
+	if r.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(r.Events) / float64(r.Trials)
+}
+
+// String formats the rate as the paper does ("5.6%").
+func (r Rate) String() string {
+	return fmt.Sprintf("%.2f%% (%d/%d)", r.Value()*100, r.Events, r.Trials)
+}
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// WilsonInterval returns the 95 % Wilson score confidence interval for the
+// rate. Unlike the normal approximation it behaves sensibly for the
+// experiment's tiny samples (1/18 failures, 0/9 controls).
+func (r Rate) WilsonInterval() (lo, hi float64, err error) {
+	if r.Trials == 0 {
+		return 0, 0, ErrEmpty
+	}
+	n := float64(r.Trials)
+	p := r.Value()
+	z := z95
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	lo, hi = center-half, center+half
+	// The boundary cases are exact: no events pins the lower bound at 0,
+	// all events pins the upper at 1 (floating point would otherwise leave
+	// ±1e-17 dust).
+	if r.Events == 0 {
+		lo = 0
+	}
+	if r.Events == r.Trials {
+		hi = 1
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// Distinguishable reports whether two rates' 95 % Wilson intervals are
+// disjoint — the crude but honest test the experiment's n=9-per-arm design
+// supports. The paper's core claim is that tent and control rates are NOT
+// distinguishable.
+func Distinguishable(a, b Rate) (bool, error) {
+	alo, ahi, err := a.WilsonInterval()
+	if err != nil {
+		return false, err
+	}
+	blo, bhi, err := b.WilsonInterval()
+	if err != nil {
+		return false, err
+	}
+	return ahi < blo || bhi < alo, nil
+}
+
+// TwoProportionZ returns the z statistic of the standard two-proportion
+// test (pooled). Callers compare |z| against 1.96 for 5 % significance.
+func TwoProportionZ(a, b Rate) (float64, error) {
+	if a.Trials == 0 || b.Trials == 0 {
+		return 0, ErrEmpty
+	}
+	p := float64(a.Events+b.Events) / float64(a.Trials+b.Trials)
+	if p == 0 || p == 1 {
+		return 0, nil
+	}
+	se := math.Sqrt(p * (1 - p) * (1/float64(a.Trials) + 1/float64(b.Trials)))
+	return (a.Value() - b.Value()) / se, nil
+}
+
+// FisherExact returns the two-sided p-value of Fisher's exact test on the
+// 2x2 table [[a, b], [c, d]] — the appropriate test for the experiment's
+// tiny arms (1 failed / 8 fine in the tent vs 0 / 9 in the basement),
+// where chi-squared and z approximations break down. The two-sided
+// p-value sums the probabilities of all tables with the same margins that
+// are no more probable than the observed one.
+func FisherExact(a, b, c, d int) (float64, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return 0, fmt.Errorf("stats: negative cell in [[%d,%d],[%d,%d]]", a, b, c, d)
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	row1 := a + b
+	col1 := a + c
+	// Hypergeometric probability of a table with x in the top-left cell.
+	logProb := func(x int) float64 {
+		return logChoose(row1, x) + logChoose(n-row1, col1-x) - logChoose(n, col1)
+	}
+	observed := logProb(a)
+	lo := col1 - (n - row1)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := col1
+	if hi > row1 {
+		hi = row1
+	}
+	p := 0.0
+	const slack = 1e-9
+	for x := lo; x <= hi; x++ {
+		if lp := logProb(x); lp <= observed+slack {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// logChoose returns log(n choose k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// Histogram bins data into equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Under and Over count out-of-range samples.
+	Under, Over int
+}
+
+// NewHistogram bins xs into n buckets.
+func NewHistogram(xs []float64, min, max float64, n int) (*Histogram, error) {
+	if n <= 0 || max <= min {
+		return nil, fmt.Errorf("stats: bad histogram shape [%v,%v) x%d", min, max, n)
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		switch {
+		case x < min:
+			h.Under++
+		case x >= max:
+			h.Over++
+		default:
+			h.Counts[int((x-min)/width)]++
+		}
+	}
+	return h, nil
+}
+
+// Total returns the in-range sample count.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Linear holds a least-squares fit y = Slope*x + Intercept.
+type Linear struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// FitLinear computes the least-squares line through (xs, ys).
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrEmpty
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, errors.New("stats: x has zero variance")
+	}
+	l := Linear{Slope: sxy / sxx}
+	l.Intercept = my - l.Slope*mx
+	if syy > 0 {
+		l.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		l.R2 = 1
+	}
+	return l, nil
+}
+
+// Pearson returns the linear correlation of xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	r := math.Sqrt(l.R2)
+	if l.Slope < 0 {
+		r = -r
+	}
+	return r, nil
+}
+
+// BootstrapMeanCI estimates a 95 % confidence interval for the mean of xs
+// by resampling.
+func BootstrapMeanCI(rng *simkernel.RNG, stream string, xs []float64, iterations int) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if iterations <= 0 {
+		iterations = 1000
+	}
+	means := make([]float64, iterations)
+	for i := range means {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[rng.Pick(stream, len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	return Quantile(means, 0.025), Quantile(means, 0.975), nil
+}

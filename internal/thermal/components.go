@@ -1,0 +1,81 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"frostlab/internal/units"
+)
+
+func mathSin(x float64) float64 { return math.Sin(x) }
+
+// AirflowModel describes how well a machine's case moves intake air across
+// its components. The paper's unreliable vendor-B series had "bad air flow
+// circulation" — a low CaseConductance here.
+type AirflowModel struct {
+	// CaseConductance couples the case interior to the intake air, W/K.
+	CaseConductance float64
+	// CPUConductance couples the CPU die (through its heatsink) to case
+	// air, W/K.
+	CPUConductance float64
+	// DiskConductance couples a drive to case air, W/K.
+	DiskConductance float64
+}
+
+// Validate reports whether all conductances are positive.
+func (a AirflowModel) Validate() error {
+	if a.CaseConductance <= 0 || a.CPUConductance <= 0 || a.DiskConductance <= 0 {
+		return fmt.Errorf("thermal: airflow conductances must be positive: %+v", a)
+	}
+	return nil
+}
+
+// ComponentTemps holds the steady-state operating temperatures of a
+// machine's monitored components for a given intake temperature and load.
+type ComponentTemps struct {
+	CaseAir units.Celsius
+	CPU     units.Celsius
+	Disk    units.Celsius
+}
+
+// SteadyState computes component temperatures for a machine drawing
+// totalPower of which cpuPower dissipates at the CPU die, in intake air at
+// the given temperature. The model is two nested thermal resistances:
+// intake -> case air -> component.
+//
+// With the prototype's numbers (≈90 W total, ≈35 W CPU, medium-tower
+// airflow) an intake of −10 °C puts the CPU near −4 °C to +3 °C, matching
+// the sub-zero CPU readings the paper (and the overclocking community)
+// report.
+func SteadyState(intake units.Celsius, totalPower, cpuPower units.Watts, air AirflowModel) (ComponentTemps, error) {
+	if err := air.Validate(); err != nil {
+		return ComponentTemps{}, err
+	}
+	if totalPower < 0 || cpuPower < 0 || cpuPower > totalPower {
+		return ComponentTemps{}, fmt.Errorf("thermal: inconsistent power split: total %v, cpu %v", totalPower, cpuPower)
+	}
+	caseAir := intake + units.Celsius(float64(totalPower)/air.CaseConductance)
+	cpu := caseAir + units.Celsius(float64(cpuPower)/air.CPUConductance)
+	// Drives dissipate a few watts each; folded into a constant 6 W here.
+	disk := caseAir + units.Celsius(6/air.DiskConductance)
+	return ComponentTemps{CaseAir: caseAir, CPU: cpu, Disk: disk}, nil
+}
+
+// Airflow presets for the three vendor form factors of §3.4 plus the
+// prototype generic PC.
+var (
+	// MediumTowerAirflow: vendor A clones; roomy case, decent fans. Like
+	// the prototype, tent units of this class read CPU temperatures below
+	// −4 °C during the coldest spells (§4.2.1).
+	MediumTowerAirflow = AirflowModel{CaseConductance: 15, CPUConductance: 12, DiskConductance: 4}
+	// SmallFormFactorAirflow: vendor B; cramped case, known-bad
+	// circulation (§3, fourth research question).
+	SmallFormFactorAirflow = AirflowModel{CaseConductance: 5.5, CPUConductance: 6, DiskConductance: 2}
+	// RackServerAirflow: vendor C 2U servers; high-RPM straight-through
+	// fans.
+	RackServerAirflow = AirflowModel{CaseConductance: 22, CPUConductance: 12, DiskConductance: 5}
+	// GenericPCAirflow: the prototype machine — an airy tower whose CPU
+	// ran at −4 °C in −10 °C weather (§3.1), implying unusually good
+	// coupling to the intake air.
+	GenericPCAirflow = AirflowModel{CaseConductance: 18, CPUConductance: 15, DiskConductance: 4}
+)

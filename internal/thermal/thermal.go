@@ -1,0 +1,292 @@
+// Package thermal models the thermal environments of the experiment: the
+// camping tent on the roof terrace, the plastic-box prototype enclosure,
+// the climate-controlled basement housing the control group, and the
+// temperatures of components inside a powered machine.
+//
+// The tent is a lumped-capacitance heat balance over the four factors the
+// paper ranks in §3.2: outside air temperature, sunlight and wind,
+// equipment power draw, and which tent flaps are open. The paper's four
+// mitigation events — R (reflective foil), I (inner tent removal), B
+// (bottom tarpaulin removal), F (tabletop fan) — are modelled as runtime
+// modifications that change the envelope's conductance and solar aperture.
+package thermal
+
+import (
+	"fmt"
+	"time"
+
+	"frostlab/internal/units"
+	"frostlab/internal/weather"
+)
+
+// Environment yields the air conditions immediately around the machines of
+// one group. Implementations: *Tent, *Basement, *PrototypeBoxes.
+type Environment interface {
+	// Air returns the current ambient temperature and relative humidity
+	// around the equipment.
+	Air() (units.Celsius, units.RelHumidity)
+	// Name identifies the environment in logs and figures.
+	Name() string
+}
+
+// Modification is one of the paper's envelope changes, in the order they
+// appear beneath Fig. 3.
+type Modification int
+
+// The four modifications from §4.1.
+const (
+	// ReflectiveFoil is "R": a partial rescue-sheet cover reflecting
+	// sunlight off the fabric.
+	ReflectiveFoil Modification = iota
+	// RemoveInnerTent is "I": cutting open the inner fabric layer.
+	RemoveInnerTent
+	// OpenBottom is "B": partial removal of the bottom tarpaulin, letting
+	// cool air circulate through the elevated floor.
+	OpenBottom
+	// InstallFan is "F": a standard-issue tabletop motorized fan.
+	InstallFan
+)
+
+// String returns the single-letter code used in the paper's Fig. 3.
+func (m Modification) String() string {
+	switch m {
+	case ReflectiveFoil:
+		return "R"
+	case RemoveInnerTent:
+		return "I"
+	case OpenBottom:
+		return "B"
+	case InstallFan:
+		return "F"
+	default:
+		return fmt.Sprintf("Modification(%d)", int(m))
+	}
+}
+
+// TentConfig parameterises a Tent. DefaultTentConfig matches the paper's
+// three-person camping tent.
+type TentConfig struct {
+	// HeatCapacity of the tent air volume plus fabric and equipment
+	// surfaces, J/K.
+	HeatCapacity float64
+	// BaseConductance is the envelope heat loss coefficient with the tent
+	// as shipped (both layers, tarpaulin closed), W/K. The paper found the
+	// tent "surprisingly good at retaining heat".
+	BaseConductance float64
+	// WindConductancePerMS adds conductance per m/s of outside wind, W/K.
+	// The tent is designed to block wind chill, so this starts small and
+	// grows with each opening modification.
+	WindConductancePerMS float64
+	// SolarAperture is the effective solar collection area times
+	// absorptivity, m². Dark fabric in direct sun gains heat fast.
+	SolarAperture float64
+	// MoistureExchangeTimeConst is how quickly inside vapour pressure
+	// relaxes to outside vapour pressure, at base ventilation.
+	MoistureExchangeTimeConst time.Duration
+}
+
+// DefaultTentConfig is calibrated so that ~1.4 kW of equipment initially
+// holds the tent ≈15 °C above ambient, shrinking to ≈4–5 °C after all four
+// modifications — the trajectory visible in the paper's Fig. 3.
+func DefaultTentConfig() TentConfig {
+	return TentConfig{
+		HeatCapacity:              120e3, // ≈ tent air + fabric + case shells
+		BaseConductance:           90,
+		WindConductancePerMS:      3,
+		SolarAperture:             2.5,
+		MoistureExchangeTimeConst: 90 * time.Minute,
+	}
+}
+
+// Tent is the roof-terrace enclosure. Advance it with Step; read it with
+// Air. The zero value is unusable — use NewTent.
+type Tent struct {
+	cfg  TentConfig
+	mods map[Modification]bool
+
+	insideTemp  units.Celsius
+	insideVapor float64 // hPa, tracks the inside absolute moisture
+	lastOutside weather.Conditions
+	initialized bool
+}
+
+// NewTent returns a tent with no modifications applied.
+func NewTent(cfg TentConfig) (*Tent, error) {
+	if cfg.HeatCapacity <= 0 || cfg.BaseConductance <= 0 {
+		return nil, fmt.Errorf("thermal: tent needs positive heat capacity and conductance")
+	}
+	if cfg.MoistureExchangeTimeConst <= 0 {
+		return nil, fmt.Errorf("thermal: tent needs positive moisture exchange time constant")
+	}
+	return &Tent{cfg: cfg, mods: make(map[Modification]bool)}, nil
+}
+
+// Name implements Environment.
+func (t *Tent) Name() string { return "tent" }
+
+// Apply enables a modification. Applying one twice is a no-op; they are
+// never reverted (the paper only ever opened the tent up further).
+func (t *Tent) Apply(m Modification) { t.mods[m] = true }
+
+// Applied reports whether the modification is active.
+func (t *Tent) Applied(m Modification) bool { return t.mods[m] }
+
+// conductance returns the current envelope heat-loss coefficient in W/K
+// for the given outside wind.
+func (t *Tent) conductance(wind units.MetersPerSecond) float64 {
+	g := t.cfg.BaseConductance
+	windG := t.cfg.WindConductancePerMS
+	if t.mods[RemoveInnerTent] {
+		g *= 1.45 // one fabric layer instead of two
+		windG *= 2
+	}
+	if t.mods[OpenBottom] {
+		g *= 1.5 // floor-level cross-draught
+		windG *= 2.5
+	}
+	if t.mods[InstallFan] {
+		g += 120 // forced convection across the envelope openings
+	}
+	return g + windG*float64(wind)
+}
+
+// solarGain returns the current solar heat input in watts.
+func (t *Tent) solarGain(irr units.WattsPerSquareMeter) float64 {
+	a := t.cfg.SolarAperture
+	if t.mods[ReflectiveFoil] {
+		a *= 0.35 // the rescue-sheet cover reflects most direct sun
+	}
+	return a * float64(irr)
+}
+
+// Step advances the tent by dt given the outside conditions and the total
+// equipment power dissipated inside. Call it with small steps (a minute or
+// less) — it uses a stabilised explicit Euler update.
+func (t *Tent) Step(dt time.Duration, outside weather.Conditions, equipment units.Watts) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive step %v", dt)
+	}
+	if !t.initialized {
+		// Cold start: inside air equals outside air (the tent was erected
+		// before any machines were powered).
+		t.insideTemp = outside.Temp
+		t.insideVapor = units.VaporPressure(outside.Temp, outside.RH)
+		t.initialized = true
+	}
+	sec := dt.Seconds()
+	g := t.conductance(outside.Wind)
+
+	// Sub-step so the explicit update stays stable even for long dt.
+	tau := t.cfg.HeatCapacity / g // thermal time constant, seconds
+	steps := int(sec/(tau/4)) + 1
+	sub := sec / float64(steps)
+	for i := 0; i < steps; i++ {
+		flux := g*(float64(outside.Temp)-float64(t.insideTemp)) +
+			float64(equipment) +
+			t.solarGain(outside.Irradiance)
+		t.insideTemp += units.Celsius(flux / t.cfg.HeatCapacity * sub)
+	}
+
+	// Moisture: inside vapour pressure relaxes toward outside; more
+	// ventilation (higher conductance relative to base) mixes faster.
+	eOut := units.VaporPressure(outside.Temp, outside.RH)
+	mix := sec / t.cfg.MoistureExchangeTimeConst.Seconds() * (g / t.cfg.BaseConductance)
+	if mix > 1 {
+		mix = 1
+	}
+	t.insideVapor += (eOut - t.insideVapor) * mix
+
+	t.lastOutside = outside
+	return nil
+}
+
+// Air implements Environment. Before the first Step it reports a 0 °C / 50%
+// placeholder.
+func (t *Tent) Air() (units.Celsius, units.RelHumidity) {
+	if !t.initialized {
+		return 0, 50
+	}
+	es := units.SaturationVaporPressure(t.insideTemp)
+	rh := units.RelHumidity(t.insideVapor / es * 100).Clamp()
+	return t.insideTemp, rh
+}
+
+// DeltaT returns the current inside-minus-outside temperature difference.
+func (t *Tent) DeltaT() units.Celsius {
+	if !t.initialized {
+		return 0
+	}
+	return t.insideTemp - t.lastOutside.Temp
+}
+
+// Basement is the control group's environment: the department's civil
+// defence shelter with stable, office-type air conditioning, well within
+// equipment specifications (§3.4).
+type Basement struct {
+	// Setpoint is the HVAC target temperature.
+	Setpoint units.Celsius
+	// Swing is the HVAC hysteresis half-range.
+	Swing units.Celsius
+	// RH is the (dry, heated-air) relative humidity.
+	RH units.RelHumidity
+	// Phase advances with Tick to wobble inside the hysteresis band.
+	phase float64
+}
+
+// NewBasement returns the default control environment: 21 °C ± 0.8, 32 %RH.
+func NewBasement() *Basement {
+	return &Basement{Setpoint: 21, Swing: 0.8, RH: 32}
+}
+
+// Name implements Environment.
+func (b *Basement) Name() string { return "basement" }
+
+// Tick advances the HVAC cycle; dt is arbitrary but should match the
+// simulation step for a stable wobble period of about 30 minutes.
+func (b *Basement) Tick(dt time.Duration) {
+	b.phase += dt.Seconds() / (30 * 60) * 2 * 3.14159265358979
+}
+
+// Air implements Environment.
+func (b *Basement) Air() (units.Celsius, units.RelHumidity) {
+	return b.Setpoint + b.Swing*units.Celsius(sin(b.phase)), b.RH
+}
+
+func sin(x float64) float64 {
+	// Tiny wrapper so the file's only math dependency is explicit.
+	return mathSin(x)
+}
+
+// PrototypeBoxes is the prototype phase enclosure: two hard plastic boxes
+// that "did not really impede air flow or contain any heat, but served to
+// protect against snow" (§3.1). Inside conditions track outside with a
+// small fixed offset from the machine's own dissipation.
+type PrototypeBoxes struct {
+	// Offset is how much warmer the air between the boxes runs than
+	// ambient; small because the boxes don't contain heat.
+	Offset units.Celsius
+
+	outside weather.Conditions
+	seen    bool
+}
+
+// NewPrototypeBoxes returns the prototype enclosure with a 0.5 °C offset.
+func NewPrototypeBoxes() *PrototypeBoxes { return &PrototypeBoxes{Offset: 0.5} }
+
+// Name implements Environment.
+func (p *PrototypeBoxes) Name() string { return "prototype-boxes" }
+
+// Observe records the current outside conditions.
+func (p *PrototypeBoxes) Observe(c weather.Conditions) {
+	p.outside = c
+	p.seen = true
+}
+
+// Air implements Environment.
+func (p *PrototypeBoxes) Air() (units.Celsius, units.RelHumidity) {
+	if !p.seen {
+		return 0, 50
+	}
+	temp := p.outside.Temp + p.Offset
+	return temp, units.RelHumidityAt(p.outside.Temp, p.outside.RH, temp)
+}

@@ -1,0 +1,342 @@
+// Package timeseries stores and manipulates the timestamped measurement
+// series that every frostlab instrument produces: weather station records,
+// Lascar logger samples, lm-sensors readings, and power meter output.
+//
+// It supports append-only recording, windowed aggregation, resampling,
+// gap detection, outlier removal (the paper removes Lascar samples taken
+// while the logger was carried indoors for readout), and CSV round-trips
+// in the same style as a Lascar EL-USB-2 export.
+package timeseries
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Series is an ordered collection of samples of a single quantity.
+type Series struct {
+	name   string
+	unit   string
+	points []Point
+}
+
+// ErrUnordered reports an append that would break timestamp ordering.
+var ErrUnordered = errors.New("timeseries: append out of order")
+
+// ErrEmpty reports an aggregate over an empty series or window.
+var ErrEmpty = errors.New("timeseries: empty series or window")
+
+// New returns an empty series with the given name and unit label
+// (e.g. "tent_inside", "°C").
+func New(name, unit string) *Series {
+	return &Series{name: name, unit: unit}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Unit returns the series unit label.
+func (s *Series) Unit() string { return s.unit }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Append adds a sample. Timestamps must be non-decreasing.
+func (s *Series) Append(at time.Time, v float64) error {
+	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
+		return fmt.Errorf("%w: %v before %v", ErrUnordered, at, s.points[n-1].At)
+	}
+	s.points = append(s.points, Point{At: at, Value: v})
+	return nil
+}
+
+// Points returns the underlying samples. The slice must not be modified.
+func (s *Series) Points() []Point { return s.points }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.points[i] }
+
+// First returns the earliest sample.
+func (s *Series) First() (Point, error) {
+	if len(s.points) == 0 {
+		return Point{}, ErrEmpty
+	}
+	return s.points[0], nil
+}
+
+// Last returns the latest sample.
+func (s *Series) Last() (Point, error) {
+	if len(s.points) == 0 {
+		return Point{}, ErrEmpty
+	}
+	return s.points[len(s.points)-1], nil
+}
+
+// Slice returns a new series holding the samples in [from, to).
+func (s *Series) Slice(from, to time.Time) *Series {
+	out := New(s.name, s.unit)
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(to) })
+	out.points = append(out.points, s.points[lo:hi]...)
+	return out
+}
+
+// Summary holds descriptive statistics of a series or window.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	Stddev      float64
+	MinAt       time.Time
+	MaxAt       time.Time
+	First, Last time.Time
+}
+
+// Summarize computes descriptive statistics over the whole series.
+func (s *Series) Summarize() (Summary, error) {
+	if len(s.points) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sum := Summary{
+		N:     len(s.points),
+		Min:   math.Inf(1),
+		Max:   math.Inf(-1),
+		First: s.points[0].At,
+		Last:  s.points[len(s.points)-1].At,
+	}
+	var total, sq float64
+	for _, p := range s.points {
+		if p.Value < sum.Min {
+			sum.Min, sum.MinAt = p.Value, p.At
+		}
+		if p.Value > sum.Max {
+			sum.Max, sum.MaxAt = p.Value, p.At
+		}
+		total += p.Value
+	}
+	sum.Mean = total / float64(sum.N)
+	for _, p := range s.points {
+		d := p.Value - sum.Mean
+		sq += d * d
+	}
+	if sum.N > 1 {
+		sum.Stddev = math.Sqrt(sq / float64(sum.N-1))
+	}
+	return sum, nil
+}
+
+// Resample aggregates the series into fixed-width buckets starting at the
+// first sample's bucket boundary, taking the mean of each bucket. Buckets
+// with no samples are omitted (they show up as gaps, exactly like the
+// paper's missing early Lascar data).
+func (s *Series) Resample(width time.Duration) (*Series, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive bucket width %v", width)
+	}
+	out := New(s.name, s.unit)
+	if len(s.points) == 0 {
+		return out, nil
+	}
+	bucketStart := s.points[0].At.Truncate(width)
+	var sum float64
+	var n int
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		if err := out.Append(bucketStart, sum/float64(n)); err != nil {
+			return err
+		}
+		sum, n = 0, 0
+		return nil
+	}
+	for _, p := range s.points {
+		b := p.At.Truncate(width)
+		if !b.Equal(bucketStart) {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			bucketStart = b
+		}
+		sum += p.Value
+		n++
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gaps returns the start and end of every inter-sample interval longer than
+// threshold. The paper's Fig. 4 caption calls out exactly such a gap.
+func (s *Series) Gaps(threshold time.Duration) []Gap {
+	var gaps []Gap
+	for i := 1; i < len(s.points); i++ {
+		d := s.points[i].At.Sub(s.points[i-1].At)
+		if d > threshold {
+			gaps = append(gaps, Gap{From: s.points[i-1].At, To: s.points[i].At})
+		}
+	}
+	return gaps
+}
+
+// Gap is a span with no samples.
+type Gap struct {
+	From, To time.Time
+}
+
+// Duration returns the length of the gap.
+func (g Gap) Duration() time.Duration { return g.To.Sub(g.From) }
+
+// RemoveOutliers returns a new series without samples whose robust z-score
+// — distance from the rolling-window median in units of the window's
+// median absolute deviation (MAD) — exceeds zmax. The window is centered
+// with the given half-width. Median/MAD is used rather than mean/stddev so
+// that a *cluster* of outliers (several consecutive indoor samples from a
+// Lascar readout trip) cannot inflate the spread and mask itself. It
+// returns the cleaned series and the removed points.
+func (s *Series) RemoveOutliers(window int, zmax float64) (*Series, []Point) {
+	if window < 1 || len(s.points) < 2*window+1 {
+		out := New(s.name, s.unit)
+		out.points = append(out.points, s.points...)
+		return out, nil
+	}
+	out := New(s.name, s.unit)
+	var removed []Point
+	buf := make([]float64, 0, 2*window+1)
+	for i, p := range s.points {
+		lo, hi := i-window, i+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(s.points) {
+			hi = len(s.points) - 1
+		}
+		buf = buf[:0]
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			buf = append(buf, s.points[j].Value)
+		}
+		med := median(buf)
+		for k, v := range buf {
+			buf[k] = math.Abs(v - med)
+		}
+		// 1.4826 scales MAD to the stddev of a normal distribution; the
+		// floor keeps near-constant windows from dividing by ~zero.
+		sd := 1.4826 * median(buf)
+		if sd < 1e-9 {
+			sd = 1e-9
+		}
+		if math.Abs(p.Value-med)/sd > zmax {
+			removed = append(removed, p)
+			continue
+		}
+		out.points = append(out.points, p)
+	}
+	return out, removed
+}
+
+// median returns the median of xs, reordering the slice in the process.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// csvTimeLayout is the timestamp format used in exports, matching the
+// Lascar software's unambiguous ISO-like style.
+const csvTimeLayout = "2006-01-02 15:04:05"
+
+// WriteCSV emits the series as "timestamp,value" rows with a header naming
+// the series and unit.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", s.name + " (" + s.unit + ")"}); err != nil {
+		return err
+	}
+	for _, p := range s.points {
+		rec := []string{p.At.UTC().Format(csvTimeLayout), strconv.FormatFloat(p.Value, 'f', 3, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series previously written with WriteCSV. The name and
+// unit are recovered from the header when it matches the "name (unit)"
+// shape; otherwise the raw header is used as the name.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: reading CSV header: %w", err)
+	}
+	if len(header) != 2 {
+		return nil, fmt.Errorf("timeseries: want 2 CSV columns, got %d", len(header))
+	}
+	name, unit := header[1], ""
+	if i := lastIndexByte(name, '('); i > 0 && name[len(name)-1] == ')' {
+		unit = name[i+1 : len(name)-1]
+		name = trimSpaceRight(name[:i])
+	}
+	s := New(name, unit)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: CSV line %d: %w", line, err)
+		}
+		at, err := time.Parse(csvTimeLayout, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: CSV line %d timestamp: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: CSV line %d value: %w", line, err)
+		}
+		if err := s.Append(at.UTC(), v); err != nil {
+			return nil, fmt.Errorf("timeseries: CSV line %d: %w", line, err)
+		}
+	}
+	return s, nil
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpaceRight(s string) string {
+	for len(s) > 0 && s[len(s)-1] == ' ' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,37 @@
+package units_test
+
+import (
+	"fmt"
+
+	"frostlab/internal/units"
+)
+
+// The §5 condensation question: can water condense on a powered machine?
+func ExampleCondensationRisk() {
+	// Outside air: -10 °C at 95% RH; the case runs 5 °C warmer.
+	airT, rh := units.Celsius(-10), units.RelHumidity(95)
+	dp, _ := units.DewPoint(airT, rh)
+	fmt.Printf("dew point: %v\n", dp)
+	fmt.Printf("powered case at %v condenses: %v\n", airT+5, units.CondensationRisk(airT, rh, airT+5))
+	fmt.Printf("cold dead case at %v in a warm front (10°C, 95%%RH): %v\n",
+		airT, units.CondensationRisk(10, 95, airT))
+	// Output:
+	// dew point: -10.6°C
+	// powered case at -5.0°C condenses: false
+	// cold dead case at -10.0°C in a warm front (10°C, 95%RH): true
+}
+
+func ExampleRelHumidityAt() {
+	// Cold moist outside air warmed up inside the tent gets much drier.
+	inside := units.RelHumidityAt(-10, 90, 5)
+	fmt.Printf("%.0f%% RH\n", float64(inside))
+	// Output:
+	// 30% RH
+}
+
+func ExampleWatts_Energy() {
+	// The paper's cluster: 75 kW around the clock.
+	fmt.Printf("%.0f kWh/day\n", float64(units.Watts(75000).Energy(24)))
+	// Output:
+	// 1800 kWh/day
+}

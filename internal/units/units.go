@@ -1,0 +1,195 @@
+// Package units provides the physical quantities used throughout frostlab:
+// temperatures, relative humidities, power, energy, wind speed, and the
+// psychrometric relations (dew point, absolute humidity, condensation risk)
+// that the paper's discussion of humidity and condensation depends on.
+//
+// All quantities are strong types over float64 so that a Celsius value can
+// never be accidentally mixed with a Kelvin value or a relative humidity.
+// Conversions are explicit.
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Celsius is a temperature in degrees Celsius.
+type Celsius float64
+
+// Kelvin is an absolute temperature in kelvins.
+type Kelvin float64
+
+// RelHumidity is a relative humidity in percent (0..100).
+type RelHumidity float64
+
+// Watts is an instantaneous power draw.
+type Watts float64
+
+// KilowattHours is an amount of energy.
+type KilowattHours float64
+
+// MetersPerSecond is a wind speed.
+type MetersPerSecond float64
+
+// WattsPerSquareMeter is a solar irradiance.
+type WattsPerSquareMeter float64
+
+// GramsPerCubicMeter is an absolute humidity (water vapour density).
+type GramsPerCubicMeter float64
+
+// AbsoluteZero is the lowest possible Celsius temperature.
+const AbsoluteZero Celsius = -273.15
+
+// ErrOutOfRange reports a physically impossible quantity.
+var ErrOutOfRange = errors.New("units: quantity out of physical range")
+
+// Kelvin converts a Celsius temperature to kelvins.
+func (c Celsius) Kelvin() Kelvin { return Kelvin(float64(c) + 273.15) }
+
+// Celsius converts a Kelvin temperature to degrees Celsius.
+func (k Kelvin) Celsius() Celsius { return Celsius(float64(k) - 273.15) }
+
+// Valid reports whether the temperature is at or above absolute zero.
+func (c Celsius) Valid() bool { return c >= AbsoluteZero }
+
+// Valid reports whether the relative humidity lies in [0, 100].
+func (rh RelHumidity) Valid() bool { return rh >= 0 && rh <= 100 }
+
+// Clamp limits the relative humidity to the physical range [0, 100].
+func (rh RelHumidity) Clamp() RelHumidity {
+	if rh < 0 {
+		return 0
+	}
+	if rh > 100 {
+		return 100
+	}
+	return rh
+}
+
+// Fraction returns the relative humidity as a 0..1 fraction.
+func (rh RelHumidity) Fraction() float64 { return float64(rh) / 100 }
+
+// String formats the temperature the way the paper prints it, e.g. "-22.0°C".
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// String formats the relative humidity, e.g. "83.5%RH".
+func (rh RelHumidity) String() string { return fmt.Sprintf("%.1f%%RH", float64(rh)) }
+
+// String formats a power draw, e.g. "44.7kW" or "350W".
+func (w Watts) String() string {
+	if math.Abs(float64(w)) >= 1000 {
+		return fmt.Sprintf("%.1fkW", float64(w)/1000)
+	}
+	return fmt.Sprintf("%.0fW", float64(w))
+}
+
+// Kilowatts returns the power in kilowatts.
+func (w Watts) Kilowatts() float64 { return float64(w) / 1000 }
+
+// Energy returns the energy dissipated by drawing the power for the given
+// number of hours.
+func (w Watts) Energy(hours float64) KilowattHours {
+	return KilowattHours(float64(w) / 1000 * hours)
+}
+
+// Magnus formula constants over water (Alduchov & Eskridge 1996), valid for
+// -40..50 °C, which covers the whole experiment including the -22 °C
+// extreme the paper reports.
+const (
+	magnusA = 17.625
+	magnusB = 243.04 // °C
+	magnusC = 6.1094 // hPa, saturation vapour pressure at 0 °C
+)
+
+// SaturationVaporPressure returns the saturation water vapour pressure in
+// hPa at the given temperature, using the Magnus formula over water.
+func SaturationVaporPressure(t Celsius) float64 {
+	return magnusC * math.Exp(magnusA*float64(t)/(magnusB+float64(t)))
+}
+
+// VaporPressure returns the actual water vapour pressure in hPa for the
+// given temperature and relative humidity.
+func VaporPressure(t Celsius, rh RelHumidity) float64 {
+	return rh.Fraction() * SaturationVaporPressure(t)
+}
+
+// DewPoint returns the dew point temperature: the temperature at which the
+// air's current water vapour content would saturate. Condensation on a
+// surface occurs when the surface is colder than the dew point. This is the
+// quantity behind the paper's §5 discussion of whether water can condense
+// inside the hardware.
+func DewPoint(t Celsius, rh RelHumidity) (Celsius, error) {
+	if !t.Valid() {
+		return 0, fmt.Errorf("dew point of %v: %w", t, ErrOutOfRange)
+	}
+	rh = rh.Clamp()
+	if rh == 0 {
+		// No moisture at all: dew point is unboundedly low; report the
+		// coldest representable value rather than -Inf.
+		return AbsoluteZero, nil
+	}
+	gamma := math.Log(rh.Fraction()) + magnusA*float64(t)/(magnusB+float64(t))
+	dp := Celsius(magnusB * gamma / (magnusA - gamma))
+	return dp, nil
+}
+
+// RelHumidityAt translates a (temperature, humidity) air parcel to the
+// relative humidity it would have at a different temperature, keeping the
+// absolute water content fixed. This is how the tent's inside RH is derived
+// from outside air that has been warmed by the equipment.
+func RelHumidityAt(t Celsius, rh RelHumidity, newT Celsius) RelHumidity {
+	e := VaporPressure(t, rh)
+	es := SaturationVaporPressure(newT)
+	return RelHumidity(e / es * 100).Clamp()
+}
+
+// AbsoluteHumidity returns the water vapour density of the air in g/m³,
+// via the ideal gas law for water vapour (specific gas constant
+// 461.5 J/(kg·K)).
+func AbsoluteHumidity(t Celsius, rh RelHumidity) GramsPerCubicMeter {
+	e := VaporPressure(t, rh) * 100 // hPa -> Pa
+	const rv = 461.5                // J/(kg·K)
+	kg := e / (rv * float64(t.Kelvin()))
+	return GramsPerCubicMeter(kg * 1000)
+}
+
+// CondensationRisk reports whether a surface at surfaceT exposed to air at
+// (airT, rh) would collect condensation, i.e. whether the surface is below
+// the air's dew point. The paper argues (§5) that powered equipment stays
+// warmer than the intake air and therefore rarely condenses; this predicate
+// is what the thermal model uses to test that argument.
+func CondensationRisk(airT Celsius, rh RelHumidity, surfaceT Celsius) bool {
+	dp, err := DewPoint(airT, rh)
+	if err != nil {
+		return false
+	}
+	return surfaceT < dp
+}
+
+// WindChill returns the apparent temperature using the North American /
+// UK Met Office wind chill index (valid for t <= 10 °C and wind >= 1.34 m/s;
+// outside that envelope the air temperature itself is returned). The tent
+// deliberately blocks wind chill — the paper notes this as a problem for
+// heat dissipation — so frostlab uses wind chill only for reporting outdoor
+// conditions, never for the heat balance.
+func WindChill(t Celsius, wind MetersPerSecond) Celsius {
+	if t > 10 || wind < 1.34 {
+		return t
+	}
+	kmh := float64(wind) * 3.6
+	v := math.Pow(kmh, 0.16)
+	return Celsius(13.12 + 0.6215*float64(t) - 11.37*v + 0.3965*float64(t)*v)
+}
+
+// MixRatio linearly mixes two temperatures; used by enclosure models when
+// blending recirculated and fresh air. frac is the share of b.
+func MixRatio(a, b Celsius, frac float64) Celsius {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return a + Celsius(frac)*(b-a)
+}

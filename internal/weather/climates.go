@@ -1,0 +1,89 @@
+package weather
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Climate is a named preset for NewSynthetic, spanning the sites the paper
+// compares (§1–2): the Helsinki experiment, HP's Wynyard data centre in
+// North-East England, Intel's New Mexico proof of concept, and contrast
+// cases. Presets describe late-winter conditions (the experiment's season),
+// not annual averages.
+type Climate struct {
+	Name string
+	// Latitude in degrees north.
+	Latitude float64
+	// WinterMeanTemp is the seasonal mean temperature in mid-February, °C.
+	WinterMeanTemp float64
+	// WarmingPerDay is the spring trend, °C/day.
+	WarmingPerDay float64
+	// DiurnalAmplitude is the daily half-range, °C.
+	DiurnalAmplitude float64
+	// SynopticAmplitude scales multi-day variability, °C.
+	SynopticAmplitude float64
+	// MeanRH is the average relative humidity, percent.
+	MeanRH float64
+	// MeanWind is the average wind speed, m/s.
+	MeanWind float64
+}
+
+// The climate library.
+var climates = map[string]Climate{
+	"helsinki": {
+		Name: "helsinki", Latitude: 60.2, WinterMeanTemp: -9, WarmingPerDay: 0.24,
+		DiurnalAmplitude: 2, SynopticAmplitude: 4.5, MeanRH: 84, MeanWind: 3.8,
+	},
+	"wynyard": { // HP's North-East England site [3]
+		Name: "wynyard", Latitude: 54.6, WinterMeanTemp: 4, WarmingPerDay: 0.08,
+		DiurnalAmplitude: 3, SynopticAmplitude: 3.5, MeanRH: 82, MeanWind: 5.5,
+	},
+	"new-mexico": { // Intel's air-economizer proof of concept [1]
+		Name: "new-mexico", Latitude: 35.1, WinterMeanTemp: 6, WarmingPerDay: 0.15,
+		DiurnalAmplitude: 9, SynopticAmplitude: 3, MeanRH: 45, MeanWind: 3.5,
+	},
+	"sodankyla": { // Northern Finland: "much more extreme conditions" (§1)
+		Name: "sodankyla", Latitude: 67.4, WinterMeanTemp: -15, WarmingPerDay: 0.2,
+		DiurnalAmplitude: 3, SynopticAmplitude: 6, MeanRH: 86, MeanWind: 3,
+	},
+	"singapore": { // tropical contrast case
+		Name: "singapore", Latitude: 1.35, WinterMeanTemp: 27, WarmingPerDay: 0,
+		DiurnalAmplitude: 3.5, SynopticAmplitude: 1, MeanRH: 80, MeanWind: 2.5,
+	},
+}
+
+// ClimateNames returns the library's preset names, sorted.
+func ClimateNames() []string {
+	out := make([]string, 0, len(climates))
+	for n := range climates {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupClimate returns a preset by name.
+func LookupClimate(name string) (Climate, error) {
+	c, ok := climates[name]
+	if !ok {
+		return Climate{}, fmt.Errorf("weather: unknown climate %q (have %v)", name, ClimateNames())
+	}
+	return c, nil
+}
+
+// Model builds a synthetic weather model for the climate, anchored at the
+// given epoch.
+func (c Climate) Model(epoch time.Time, seed string) (*Synthetic, error) {
+	return NewSynthetic(Config{
+		Epoch:             epoch,
+		Latitude:          c.Latitude,
+		MeanTempAtEpoch:   c.WinterMeanTemp,
+		WarmingPerDay:     c.WarmingPerDay,
+		DiurnalAmplitude:  c.DiurnalAmplitude,
+		SynopticAmplitude: c.SynopticAmplitude,
+		MeanRH:            c.MeanRH,
+		MeanWind:          c.MeanWind,
+		Seed:              seed + "/" + c.Name,
+	})
+}

@@ -1,0 +1,108 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClimateLibrary(t *testing.T) {
+	names := ClimateNames()
+	if len(names) < 5 {
+		t.Fatalf("climate library has %d presets", len(names))
+	}
+	for _, n := range names {
+		c, err := LookupClimate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name != n {
+			t.Errorf("preset %q names itself %q", n, c.Name)
+		}
+		m, err := c.Model(ExperimentEpoch, "test")
+		if err != nil {
+			t.Fatalf("building %s: %v", n, err)
+		}
+		cond := m.At(ExperimentEpoch.Add(36 * time.Hour))
+		if !cond.RH.Valid() {
+			t.Errorf("%s produced invalid RH %v", n, cond.RH)
+		}
+	}
+	if _, err := LookupClimate("atlantis"); err == nil {
+		t.Error("unknown climate accepted")
+	}
+}
+
+func TestClimateOrdering(t *testing.T) {
+	// Mean February temperature must order: Sodankylä < Helsinki <
+	// Wynyard < New Mexico < Singapore. This is the gradient that the
+	// paper's feasibility argument walks.
+	order := []string{"sodankyla", "helsinki", "wynyard", "new-mexico", "singapore"}
+	var prev float64 = -1e9
+	for _, name := range order {
+		c, err := LookupClimate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Model(ExperimentEpoch, "order")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for at := ExperimentEpoch; at.Before(ExperimentEpoch.AddDate(0, 0, 14)); at = at.Add(time.Hour) {
+			sum += float64(m.At(at).Temp)
+			n++
+		}
+		mean := sum / float64(n)
+		if mean <= prev {
+			t.Errorf("%s mean %.1f not warmer than previous %.1f", name, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestTropicalClimateHasNoWinter(t *testing.T) {
+	c, err := LookupClimate("singapore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Model(ExperimentEpoch, "tropics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := ExperimentEpoch; at.Before(ExperimentEpoch.AddDate(0, 0, 14)); at = at.Add(3 * time.Hour) {
+		if temp := m.At(at).Temp; temp < 15 {
+			t.Fatalf("singapore at %v°C", temp)
+		}
+	}
+}
+
+func TestDesertDiurnalSwing(t *testing.T) {
+	// New Mexico's dry air gives a much larger day-night swing than
+	// maritime Wynyard.
+	swing := func(name string) float64 {
+		c, err := LookupClimate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Model(ExperimentEpoch, "swing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var minV, maxV float64 = 1e9, -1e9
+		day := ExperimentEpoch.AddDate(0, 0, 3)
+		for at := day; at.Before(day.Add(24 * time.Hour)); at = at.Add(30 * time.Minute) {
+			v := float64(m.At(at).Temp)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		return maxV - minV
+	}
+	if nm, wy := swing("new-mexico"), swing("wynyard"); nm <= wy {
+		t.Errorf("new-mexico swing %.1f not above wynyard %.1f", nm, wy)
+	}
+}

@@ -1,0 +1,32 @@
+package weather
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTraceCSV hardens the real-data import path: arbitrary CSV input
+// must either parse into a usable trace or fail cleanly.
+func FuzzReadTraceCSV(f *testing.F) {
+	var good bytes.Buffer
+	m := ReferenceWinter0910("fuzz")
+	if err := WriteTraceCSV(&good, m, ExperimentEpoch, ExperimentEpoch.Add(2*3600e9), 600e9); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("timestamp,temp_c,rh_pct,wind_ms,irr_wm2,snow_mmh\n"))
+	f.Add([]byte("a,b,c\n1,2,3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTraceCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A parsed trace must answer queries with physical humidity.
+		first, last := tr.Span()
+		mid := first.Add(last.Sub(first) / 2)
+		if c := tr.At(mid); !c.RH.Valid() {
+			t.Fatalf("parsed trace yields invalid RH %v", c.RH)
+		}
+	})
+}

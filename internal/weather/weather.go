@@ -1,0 +1,311 @@
+// Package weather generates and replays the outdoor conditions that drive a
+// frostlab experiment. It is the stand-in for the SMEAR III weather station
+// next to the Helsinki CS building (co-operated with the Finnish
+// Meteorological Institute) that the paper used for its outside data.
+//
+// Two sources are provided:
+//
+//   - Synthetic: a climatological model of a Southern-Finland winter at
+//     60.2 °N — seasonal trend, diurnal cycle, multi-day synoptic variation,
+//     anchored cold-snap events, humidity, wind, solar irradiance, and
+//     snowfall — built from seeded sinusoid mixtures so that conditions are
+//     a pure function of time (random access, fully deterministic).
+//
+//   - Trace: replay of a recorded CSV trace with linear interpolation, so
+//     real station data can be substituted for the synthetic model without
+//     touching any downstream code.
+//
+// The reference model ReferenceWinter0910 is calibrated against the values
+// the paper reports: the prototype weekend (Feb 12–15, 2010) averaging
+// −9.2 °C with a minimum of −10.2 °C, and a season minimum of −22 °C.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"frostlab/internal/simkernel"
+	"frostlab/internal/units"
+)
+
+// Conditions is one snapshot of outdoor weather.
+type Conditions struct {
+	Temp       units.Celsius
+	RH         units.RelHumidity
+	Wind       units.MetersPerSecond
+	Irradiance units.WattsPerSquareMeter
+	// SnowfallRate is liquid-water-equivalent precipitation falling as
+	// snow, in mm/h. The tent exists to keep this away from the hardware.
+	SnowfallRate float64
+}
+
+// Model yields outdoor conditions at any instant.
+type Model interface {
+	At(t time.Time) Conditions
+}
+
+// HelsinkiLatitude is the latitude of the experiment site in degrees north.
+const HelsinkiLatitude = 60.2
+
+// harmonic is one component of a sinusoid mixture.
+type harmonic struct {
+	amp    float64
+	period time.Duration
+	phase  float64 // radians
+}
+
+func (h harmonic) at(t time.Time, epoch time.Time) float64 {
+	x := t.Sub(epoch).Seconds() / h.period.Seconds()
+	return h.amp * math.Sin(2*math.Pi*x+h.phase)
+}
+
+// coldSnap is a Gaussian-shaped temperature dip anchoring an extreme event.
+type coldSnap struct {
+	center time.Time
+	depth  float64 // °C, positive = this much colder
+	sigma  time.Duration
+}
+
+func (c coldSnap) at(t time.Time) float64 {
+	d := t.Sub(c.center).Seconds() / c.sigma.Seconds()
+	return -c.depth * math.Exp(-d*d/2)
+}
+
+// Synthetic is the climatological winter model. Construct with NewSynthetic
+// or ReferenceWinter0910; the zero value is not usable.
+type Synthetic struct {
+	epoch     time.Time
+	latitude  float64
+	seasonal  func(t time.Time) float64 // slowly varying mean temperature
+	diurnalA  float64                   // °C amplitude of the daily cycle at epoch
+	synoptic  []harmonic                // multi-day temperature variation
+	humid     []harmonic                // RH variation
+	windH     []harmonic                // wind variation
+	cloudH    []harmonic                // cloud-fraction variation
+	snaps     []coldSnap
+	windMean  float64
+	rhMean    float64
+	tempNoise []harmonic // short-period jitter standing in for turbulence
+}
+
+// Config parameterises NewSynthetic.
+type Config struct {
+	// Epoch is the reference instant of the model (phases are relative to
+	// it); conditions may be queried before or after it.
+	Epoch time.Time
+	// Latitude in degrees north; controls day length and solar elevation.
+	Latitude float64
+	// MeanTempAtEpoch is the seasonal mean temperature at the epoch, °C.
+	MeanTempAtEpoch float64
+	// WarmingPerDay is the springtime trend in °C/day.
+	WarmingPerDay float64
+	// DiurnalAmplitude is the half-range of the daily temperature cycle
+	// at the epoch, °C. It grows with the sun through spring.
+	DiurnalAmplitude float64
+	// SynopticAmplitude scales the multi-day weather-system variation, °C.
+	SynopticAmplitude float64
+	// MeanRH is the average relative humidity, percent.
+	MeanRH float64
+	// MeanWind is the average wind speed, m/s.
+	MeanWind float64
+	// ColdSnaps anchors extreme events at fixed dates.
+	ColdSnaps []ColdSnap
+	// Seed names the RNG master seed for phases and amplitudes.
+	Seed string
+}
+
+// ColdSnap describes an anchored extreme cold event for Config.
+type ColdSnap struct {
+	Center time.Time
+	// Depth is how much colder than the seasonal mean the snap bottoms
+	// out, in °C.
+	Depth float64
+	// HalfWidth is the snap's Gaussian sigma.
+	HalfWidth time.Duration
+}
+
+// NewSynthetic builds a synthetic weather model from the config.
+func NewSynthetic(cfg Config) (*Synthetic, error) {
+	if cfg.Epoch.IsZero() {
+		return nil, fmt.Errorf("weather: config needs a non-zero Epoch")
+	}
+	if cfg.Latitude < -90 || cfg.Latitude > 90 {
+		return nil, fmt.Errorf("weather: latitude %v out of range", cfg.Latitude)
+	}
+	if cfg.MeanRH < 0 || cfg.MeanRH > 100 {
+		return nil, fmt.Errorf("weather: mean RH %v out of range", cfg.MeanRH)
+	}
+	rng := simkernel.NewRNG(cfg.Seed)
+	mix := func(stream string, n int, ampScale float64, minP, maxP time.Duration) []harmonic {
+		hs := make([]harmonic, n)
+		for i := range hs {
+			frac := float64(i) / float64(n)
+			p := time.Duration(float64(minP) + frac*float64(maxP-minP))
+			hs[i] = harmonic{
+				amp:    ampScale * rng.Uniform(stream, 0.4, 1.0) / float64(n) * 2,
+				period: p,
+				phase:  rng.Uniform(stream, 0, 2*math.Pi),
+			}
+		}
+		return hs
+	}
+	s := &Synthetic{
+		epoch:    cfg.Epoch,
+		latitude: cfg.Latitude,
+		seasonal: func(t time.Time) float64 {
+			days := t.Sub(cfg.Epoch).Hours() / 24
+			return cfg.MeanTempAtEpoch + cfg.WarmingPerDay*days
+		},
+		diurnalA:  cfg.DiurnalAmplitude,
+		synoptic:  mix("synoptic", 7, cfg.SynopticAmplitude, 40*time.Hour, 15*24*time.Hour),
+		humid:     mix("humidity", 5, 9, 20*time.Hour, 8*24*time.Hour),
+		windH:     mix("wind", 5, 2.2, 6*time.Hour, 5*24*time.Hour),
+		cloudH:    mix("cloud", 5, 0.5, 12*time.Hour, 9*24*time.Hour),
+		tempNoise: mix("noise", 4, 0.6, 9*time.Minute, 3*time.Hour),
+		windMean:  cfg.MeanWind,
+		rhMean:    cfg.MeanRH,
+	}
+	for _, cs := range cfg.ColdSnaps {
+		s.snaps = append(s.snaps, coldSnap{center: cs.Center, depth: cs.Depth, sigma: cs.HalfWidth})
+	}
+	return s, nil
+}
+
+// ExperimentEpoch is the start of the paper's prototype phase: Friday,
+// February 12th, 2010. Times are UTC+2 (Finnish winter time) expressed in
+// UTC for simplicity; the 2-hour offset is irrelevant to the physics.
+var ExperimentEpoch = time.Date(2010, time.February, 12, 0, 0, 0, 0, time.UTC)
+
+// ReferenceWinter0910 is the calibrated model of the winter of 2009–2010 in
+// Helsinki used by the reproduction. Calibration targets, from the paper:
+//
+//   - Feb 12–15 weekend: minimum −10.2 °C, average −9.2 °C (§3.1)
+//   - season minimum −22 °C, encountered by the longest-running host (§4.2.1)
+//   - spring warm-up through March (§5 "conditions are likely to shift rapidly")
+func ReferenceWinter0910(seed string) *Synthetic {
+	s, err := NewSynthetic(Config{
+		Epoch:             ExperimentEpoch,
+		Latitude:          HelsinkiLatitude,
+		MeanTempAtEpoch:   -9.0,
+		WarmingPerDay:     0.24, // ≈ +10.5 °C over Feb 12 – Mar 26
+		DiurnalAmplitude:  2.0,
+		SynopticAmplitude: 4.5,
+		MeanRH:            84,
+		MeanWind:          3.8,
+		ColdSnaps: []ColdSnap{
+			// The −22 °C extreme about a week into the normal phase.
+			{Center: ExperimentEpoch.AddDate(0, 0, 13), Depth: 13.5, HalfWidth: 26 * time.Hour},
+			// A secondary early-March snap.
+			{Center: ExperimentEpoch.AddDate(0, 0, 24), Depth: 7, HalfWidth: 16 * time.Hour},
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		// The reference config is a compile-time constant; an error here is
+		// a programming bug, not a runtime condition.
+		panic("weather: reference config invalid: " + err.Error())
+	}
+	return s
+}
+
+// At returns the conditions at t. It is a pure function of t.
+func (s *Synthetic) At(t time.Time) Conditions {
+	elev := SolarElevation(s.latitude, t)
+	cloud := s.cloudFraction(t)
+
+	temp := s.seasonal(t)
+	// Diurnal cycle: coldest near 06:00, warmest near 15:00 local; its
+	// amplitude grows as the sun climbs through spring.
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	diurnalGrowth := 1 + math.Max(0, t.Sub(s.epoch).Hours()/24)*0.02
+	temp += s.diurnalA * diurnalGrowth * math.Sin(2*math.Pi*(hour-10.5)/24)
+	for _, h := range s.synoptic {
+		temp += h.at(t, s.epoch)
+	}
+	for _, h := range s.tempNoise {
+		temp += h.at(t, s.epoch)
+	}
+	for _, c := range s.snaps {
+		temp += c.at(t)
+	}
+
+	// RH: high base in winter; anticorrelated with temperature anomaly
+	// (cold snaps are dry, Arctic air), plus its own variation.
+	anomaly := temp - s.seasonal(t)
+	rh := s.rhMean - 0.9*anomaly
+	for _, h := range s.humid {
+		rh += h.at(t, s.epoch)
+	}
+	// Overcast air is moister.
+	rh += 8 * (cloud - 0.5)
+
+	wind := s.windMean
+	for _, h := range s.windH {
+		wind += h.at(t, s.epoch)
+	}
+	if wind < 0 {
+		wind = 0
+	}
+
+	irr := ClearSkyIrradiance(elev) * (1 - 0.75*cloud)
+
+	// Snow falls from overcast skies at sub-+1 °C temperatures.
+	snow := 0.0
+	if temp < 1 && cloud > 0.72 {
+		snow = (cloud - 0.72) / 0.28 * 1.8 // up to 1.8 mm/h w.e.
+	}
+
+	return Conditions{
+		Temp:         units.Celsius(temp),
+		RH:           units.RelHumidity(rh).Clamp(),
+		Wind:         units.MetersPerSecond(wind),
+		Irradiance:   units.WattsPerSquareMeter(irr),
+		SnowfallRate: snow,
+	}
+}
+
+// cloudFraction returns the 0..1 cloud cover at t.
+func (s *Synthetic) cloudFraction(t time.Time) float64 {
+	c := 0.62 // Finnish winters are mostly overcast
+	for _, h := range s.cloudH {
+		c += h.at(t, s.epoch)
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// SolarElevation returns the sun's elevation angle in degrees above the
+// horizon at the given latitude and instant (negative below the horizon).
+// It uses the standard declination approximation; minute-level accuracy is
+// ample for a heat-balance model.
+func SolarElevation(latitudeDeg float64, t time.Time) float64 {
+	doy := float64(t.YearDay())
+	decl := -23.44 * math.Cos(2*math.Pi/365*(doy+10)) // degrees
+	hour := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	hourAngle := (hour - 12) * 15 // degrees
+	lat := latitudeDeg * math.Pi / 180
+	d := decl * math.Pi / 180
+	h := hourAngle * math.Pi / 180
+	sinElev := math.Sin(lat)*math.Sin(d) + math.Cos(lat)*math.Cos(d)*math.Cos(h)
+	return math.Asin(sinElev) * 180 / math.Pi
+}
+
+// ClearSkyIrradiance returns an approximate clear-sky global horizontal
+// irradiance in W/m² for the given solar elevation in degrees, using a
+// simple air-mass attenuation model.
+func ClearSkyIrradiance(elevationDeg float64) float64 {
+	if elevationDeg <= 0 {
+		return 0
+	}
+	sinE := math.Sin(elevationDeg * math.Pi / 180)
+	// Kasten-Young-style air mass, simplified.
+	am := 1 / (sinE + 0.50572*math.Pow(elevationDeg+6.07995, -1.6364))
+	const solarConst = 1361.0
+	return solarConst * sinE * math.Pow(0.7, math.Pow(am, 0.678))
+}
