@@ -10,12 +10,15 @@
 package frostlab_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"frostlab/internal/campaign"
 	"frostlab/internal/core"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
@@ -234,3 +237,42 @@ func BenchmarkTableMonitoring(b *testing.B) {
 }
 
 func format1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// BenchmarkCampaign32Reps runs a 32-replicate Monte-Carlo campaign
+// (four-day horizon so one iteration stays in benchmark range) at
+// increasing worker-pool widths. On multi-core hardware the runs are
+// independent simulations with no shared state, so throughput should
+// scale near-linearly from 1 worker to NumCPU.
+func BenchmarkCampaign32Reps(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		if n > 4 {
+			workerCounts = append(workerCounts, n/2)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := campaign.Spec{
+					Seed:    "winter0910-bench",
+					Reps:    32,
+					Workers: workers,
+					Days:    4,
+				}
+				sum, err := campaign.Run(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Completed != 32 || sum.Failed != 0 {
+					b.Fatalf("campaign completed %d failed %d, want 32/0", sum.Completed, sum.Failed)
+				}
+				if i == 0 {
+					logOnce(b, "campaign",
+						fmt.Sprintf("pooled tent %s, control %s over 32 replicates",
+							sum.Points[0].Tent, sum.Points[0].Control))
+				}
+			}
+		})
+	}
+}

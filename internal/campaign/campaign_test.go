@@ -1,0 +1,272 @@
+package campaign_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"frostlab/internal/campaign"
+	"frostlab/internal/core"
+	"frostlab/internal/report"
+	"frostlab/internal/simkernel"
+)
+
+// fastSpec is a campaign small enough for unit tests: two-day horizon,
+// two tent/basement pairs, monitoring off.
+func fastSpec(seed string, reps, workers int) campaign.Spec {
+	return campaign.Spec{
+		Seed:    seed,
+		Reps:    reps,
+		Workers: workers,
+		Days:    2,
+		Sweep:   campaign.Sweep{FleetPairs: []int{2}},
+	}
+}
+
+// TestDeterminismAcrossWorkers is the campaign's core guarantee: a fixed
+// seed produces byte-identical pooled aggregates whether the replicates
+// run on one worker or race across eight.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	var renders []string
+	for _, workers := range []int{1, 8} {
+		sum, err := campaign.Run(context.Background(), fastSpec("determinism", 6, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sum.Completed != 6 || sum.Failed != 0 {
+			t.Fatalf("workers=%d: completed %d failed %d, want 6/0", workers, sum.Completed, sum.Failed)
+		}
+		renders = append(renders, report.Campaign(sum))
+	}
+	if renders[0] != renders[1] {
+		t.Errorf("pooled aggregates differ between -workers 1 and -workers 8:\n--- workers=1\n%s\n--- workers=8\n%s",
+			renders[0], renders[1])
+	}
+}
+
+// TestReplicatesVary guards against the opposite failure: replicates must
+// be *different* sample paths, not one run repeated N times.
+func TestReplicatesVary(t *testing.T) {
+	spec := fastSpec("variation", 4, 2)
+	seen := make(map[string]bool)
+	spec.Progress = func(done, total int, rs campaign.RunSummary) {
+		seen[rs.Seed] = true
+	}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct replicate seeds %d, want 4", len(seen))
+	}
+	if sum.TotalRuns != 4 {
+		t.Errorf("total runs %d, want 4", sum.TotalRuns)
+	}
+}
+
+// TestCheckpointResume interrupts a campaign after a partial first pass and
+// verifies the second pass restores the finished replicates instead of
+// re-running them.
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// First pass: a smaller campaign populates the checkpoint directory.
+	spec := fastSpec("resume", 2, 2)
+	spec.CheckpointDir = dir
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 2 || sum.Checkpoint != 0 {
+		t.Fatalf("first pass: completed %d checkpoint %d, want 2/0", sum.Completed, sum.Checkpoint)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("checkpoint files %v (err %v), want 2", files, err)
+	}
+
+	// Second pass: same campaign, doubled replicate count. The first two
+	// replicates must come from checkpoints; only the new ones run.
+	spec = fastSpec("resume", 4, 2)
+	spec.CheckpointDir = dir
+	var fresh int
+	spec.Progress = func(done, total int, rs campaign.RunSummary) {
+		if !rs.FromCheckpoint {
+			fresh++
+		}
+	}
+	sum, err = campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 4 || sum.Checkpoint != 2 {
+		t.Errorf("second pass: completed %d checkpoint %d, want 4/2", sum.Completed, sum.Checkpoint)
+	}
+	if fresh != 2 {
+		t.Errorf("fresh runs %d, want 2", fresh)
+	}
+
+	// A truncated checkpoint must be re-run, not trusted.
+	if err := os.WriteFile(files[0], []byte("{\"version\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 4 || sum.Checkpoint != 3 {
+		t.Errorf("after corruption: completed %d checkpoint %d, want 4/3", sum.Completed, sum.Checkpoint)
+	}
+}
+
+// TestPanicIsolation injects a panicking replicate and verifies the
+// campaign survives it: the run is reported failed, the rest pool.
+func TestPanicIsolation(t *testing.T) {
+	spec := fastSpec("panic-isolation", 3, 2)
+	spec.Mutate = func(rep int, cfg *core.Config) {
+		if rep == 1 {
+			panic("injected divergence")
+		}
+	}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 2 || sum.Failed != 1 {
+		t.Fatalf("completed %d failed %d, want 2/1", sum.Completed, sum.Failed)
+	}
+	pt := sum.Points[0]
+	if pt.Failed != 1 || len(pt.Errors) != 1 || !strings.Contains(pt.Errors[0], "injected divergence") {
+		t.Errorf("point errors %v, want one injected panic", pt.Errors)
+	}
+	// The failed replicate contributes no trials.
+	if pt.Tent.Trials != 4 {
+		t.Errorf("pooled tent trials %d, want 4 (2 hosts x 2 good reps)", pt.Tent.Trials)
+	}
+}
+
+// TestCancelledContext verifies a cancelled campaign returns promptly with
+// the context error and a partial summary.
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := campaign.Run(ctx, fastSpec("cancelled", 4, 2))
+	if err != context.Canceled {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if sum == nil {
+		t.Fatal("cancelled campaign returned no summary")
+	}
+	if sum.Completed != 0 {
+		t.Errorf("completed %d runs under a pre-cancelled context", sum.Completed)
+	}
+}
+
+// TestSweepCrossProduct checks axis expansion, labelling and per-point
+// aggregation.
+func TestSweepCrossProduct(t *testing.T) {
+	spec := campaign.Spec{
+		Seed:    "sweep",
+		Reps:    2,
+		Workers: 4,
+		Days:    2,
+		Sweep: campaign.Sweep{
+			FleetPairs: []int{1, 2},
+			Mods:       []bool{true, false},
+		},
+	}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 4 {
+		t.Fatalf("sweep points %d, want 4", len(sum.Points))
+	}
+	if sum.TotalRuns != 8 || sum.Completed != 8 {
+		t.Fatalf("runs %d/%d, want 8/8", sum.Completed, sum.TotalRuns)
+	}
+	labels := make(map[string]*campaign.PointAggregate)
+	for _, pt := range sum.Points {
+		labels[pt.Label] = pt
+	}
+	pt, ok := labels["fleet=2x2 mods=off"]
+	if !ok {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		t.Fatalf("missing point label, have %v", keys)
+	}
+	if pt.Tent.Trials != 4 {
+		t.Errorf("fleet=2x2 pooled tent trials %d, want 4", pt.Tent.Trials)
+	}
+}
+
+// TestRepSeedsDistinct guards the replicate-independence assumption: the
+// <seed>/rep/<i> derivation must give every replicate below 1024 its own
+// weather and failure sample path. A first draw collision on any stream
+// would mean two "independent" replicates shared randomness.
+func TestRepSeedsDistinct(t *testing.T) {
+	const n = 1024
+	streams := []string{"weather/noise", "failure/host", "workload/fuzz"}
+	seenSeed := make(map[string]bool, n)
+	seenDraw := make(map[string]map[float64]int)
+	for _, s := range streams {
+		seenDraw[s] = make(map[float64]int, n)
+	}
+	for i := 0; i < n; i++ {
+		seed := campaign.RepSeed("winter0910", i)
+		if seenSeed[seed] {
+			t.Fatalf("duplicate replicate seed %q", seed)
+		}
+		seenSeed[seed] = true
+		rng := simkernel.NewRNG(seed)
+		for _, s := range streams {
+			v := rng.Uniform(s, 0, 1)
+			if prev, dup := seenDraw[s][v]; dup {
+				t.Fatalf("stream %q: replicates %d and %d drew identical first value %v", s, prev, i, v)
+			}
+			seenDraw[s][v] = i
+		}
+	}
+}
+
+// TestBuildFleet checks the campaign fleet builder's shape and twinning.
+func TestBuildFleet(t *testing.T) {
+	at := time.Date(2010, time.February, 19, 12, 0, 0, 0, time.UTC)
+	f, err := campaign.BuildFleet(9, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := f.All()
+	if len(all) != 18 {
+		t.Fatalf("fleet size %d, want 18", len(all))
+	}
+	h, ok := f.Get("h01")
+	if !ok || h.TwinID != "ch01" {
+		t.Errorf("h01 twin %q, want ch01", h.TwinID)
+	}
+	if _, err := campaign.BuildFleet(0, at); err == nil {
+		t.Error("zero-pair fleet accepted")
+	}
+}
+
+// TestBadSweepValueFailsRun ensures an unknown climate fails the affected
+// replicates rather than the process.
+func TestBadSweepValueFailsRun(t *testing.T) {
+	spec := fastSpec("bad-climate", 2, 2)
+	spec.Sweep.Climates = []string{"atlantis"}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 2 || sum.Completed != 0 {
+		t.Fatalf("failed %d completed %d, want 2/0", sum.Failed, sum.Completed)
+	}
+	if !strings.Contains(report.Campaign(sum), "unknown climate") {
+		t.Error("report does not surface the failure cause")
+	}
+}

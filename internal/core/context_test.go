@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelled verifies campaigns and CLIs can abort a
+// simulation cleanly: a cancelled context stops the run at an event
+// boundary with ctx.Err() instead of results.
+func TestRunContextCancelled(t *testing.T) {
+	cfg := DefaultConfig("ctx-cancel")
+	cfg.MonitorEvery = 0
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := exp.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if r != nil {
+		t.Error("cancelled run returned results")
+	}
+}
+
+// TestRunContextBackground verifies RunContext with a live context matches
+// plain Run: same seed, same results (spot-checked on the headline rate).
+func TestRunContextBackground(t *testing.T) {
+	short := func(run func(*Experiment) (*Results, error)) *Results {
+		cfg := DefaultConfig("ctx-equivalence")
+		cfg.MonitorEvery = 0
+		cfg.End = cfg.Start.AddDate(0, 0, 3)
+		exp, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := run(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := short(func(e *Experiment) (*Results, error) { return e.Run() })
+	b := short(func(e *Experiment) (*Results, error) { return e.RunContext(context.Background()) })
+	if a.TentHostFailureRate != b.TentHostFailureRate || a.TotalCycles != b.TotalCycles {
+		t.Errorf("Run and RunContext diverged: %v/%d vs %v/%d",
+			a.TentHostFailureRate, a.TotalCycles, b.TentHostFailureRate, b.TotalCycles)
+	}
+	if a.End.Sub(a.Start) != 72*time.Hour {
+		t.Errorf("horizon %v, want 72h", a.End.Sub(a.Start))
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"frostlab/internal/campaign"
+	"frostlab/internal/stats"
+	"frostlab/internal/timeseries"
+)
+
+func TestCampaignRendering(t *testing.T) {
+	env := campaign.Envelope{
+		Name: "outside_temp", Unit: "°C", Runs: 3,
+		Min:  timeseries.New("outside_temp_min", "°C"),
+		Mean: timeseries.New("outside_temp_mean", "°C"),
+		Max:  timeseries.New("outside_temp_max", "°C"),
+	}
+	at := time.Date(2010, time.February, 19, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		ts := at.Add(time.Duration(i) * 6 * time.Hour)
+		_ = env.Min.Append(ts, -15+float64(i%5))
+		_ = env.Mean.Append(ts, -9+float64(i%5))
+		_ = env.Max.Append(ts, -3+float64(i%5))
+	}
+	s := &campaign.Summary{
+		Seed: "render-test", Reps: 32, TotalRuns: 32, Completed: 31, Failed: 1,
+		Checkpoint: 4,
+		Points: []*campaign.PointAggregate{{
+			Label:     "base",
+			Completed: 31, Failed: 1,
+			Errors:        []string{"rep 7: panic: injected"},
+			Tent:          stats.Rate{Events: 16, Trials: 279},
+			Control:       stats.Rate{Events: 1, Trials: 279},
+			Initial:       stats.Rate{Events: 17, Trials: 558},
+			TentMeanLo:    0.02, TentMeanHi: 0.09, HaveTentMean: true,
+			FisherP:       0.0003, HaveFisher: true,
+			WrongHash:     stats.Rate{Events: 150, Trials: 850_000},
+			MeanEnergyKWh: 230.4,
+			Envelopes:     []campaign.Envelope{env},
+			Power: []campaign.PowerRow{
+				{Power: 0.8, PerArm: 200, Winters: 23},
+				{Power: 0.95, PerArm: 340, Winters: 38},
+			},
+			WintersPerRep: 9,
+		}},
+	}
+	out := Campaign(s)
+	for _, want := range []string{
+		"Campaign \"render-test\"",
+		"31 completed, 1 failed, 4 from checkpoints",
+		"== base ==",
+		"rep 7: panic: injected",
+		"tent (pooled)",
+		"16/279",
+		"control (pooled)",
+		"Fisher exact p = 0.0003 (separable at 5%)",
+		"bootstrap CI [2.00%, 9.00%]",
+		"wrong hashes: 150 in 850000 cycles",
+		"outside_temp",
+		"hosts per arm",
+		"winters (9-host arms)",
+		"340",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign report missing %q\n%s", want, out)
+		}
+	}
+	// The envelope plot should be present with all three glyph series.
+	if !strings.Contains(out, "outside_temp_min") || !strings.Contains(out, "outside_temp_max") {
+		t.Error("campaign report missing the envelope plot legend")
+	}
+}
+
+func TestCampaignRenderingEmptyPoint(t *testing.T) {
+	s := &campaign.Summary{
+		Seed: "empty", Reps: 2, TotalRuns: 2, Failed: 2,
+		Points: []*campaign.PointAggregate{{Label: "base", Failed: 2}},
+	}
+	out := Campaign(s)
+	if !strings.Contains(out, "nothing to pool") {
+		t.Errorf("empty point not reported:\n%s", out)
+	}
+}

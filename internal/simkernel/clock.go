@@ -145,6 +145,18 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 	}
 }
 
+// NextDue returns the due time of the next pending (non-canceled) event,
+// or false when the queue is empty. Callers that need to interleave their
+// own checks with dispatch — cancellation polls, deadline tests — can loop
+// over NextDue/Step instead of RunUntil.
+func (s *Scheduler) NextDue() (time.Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return time.Time{}, false
+	}
+	return e.due, true
+}
+
 // RunAll dispatches every pending event. It guards against runaway
 // self-rescheduling with a generous cap and returns an error if the cap is
 // reached.

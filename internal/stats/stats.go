@@ -306,6 +306,74 @@ func Pearson(xs, ys []float64) (float64, error) {
 	return r, nil
 }
 
+// PoolRates sums binomial rates over independent replicates: the campaign
+// engine pools each replicate's (events, trials) into one estimate whose
+// Wilson interval reflects the full pooled sample. An empty input pools to
+// the zero Rate (0 events over 0 trials), whose Value is NaN and whose
+// interval computations return ErrEmpty — callers never divide by zero.
+func PoolRates(rs ...Rate) Rate {
+	var out Rate
+	for _, r := range rs {
+		out.Events += r.Events
+		out.Trials += r.Trials
+	}
+	return out
+}
+
+// BootstrapRateMeanCI estimates a 95 % confidence interval for the mean
+// per-replicate rate by resampling replicates. Replicates with zero trials
+// carry no information and are skipped. A single informative replicate
+// pins the interval to its point estimate (resampling one value cannot
+// spread); zero informative replicates return ErrEmpty.
+func BootstrapRateMeanCI(rng *simkernel.RNG, stream string, rs []Rate, iterations int) (lo, hi float64, err error) {
+	var vals []float64
+	for _, r := range rs {
+		if r.Trials > 0 {
+			vals = append(vals, r.Value())
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(vals) == 1 {
+		return vals[0], vals[0], nil
+	}
+	return BootstrapMeanCI(rng, stream, vals, iterations)
+}
+
+// zQuantile returns the standard normal quantile Φ⁻¹(p).
+func zQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// RequiredTrialsTwoProportions returns the per-arm sample size needed for
+// the standard two-proportion z test to distinguish true rates p1 and p2
+// at significance alpha (two-sided) with the given power — the campaign
+// engine's "how many hosts/winters would the paper have needed?"
+// arithmetic. The formula is the textbook
+//
+//	n = (z_{1-α/2}·√(2·p̄·q̄) + z_{power}·√(p1·q1 + p2·q2))² / (p1-p2)²
+//
+// with p̄ the mean of the two rates. Equal rates are never separable, so
+// p1 == p2 is an error rather than +Inf.
+func RequiredTrialsTwoProportions(p1, p2, alpha, power float64) (int, error) {
+	if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+		return 0, fmt.Errorf("stats: proportions %v, %v out of [0,1]", p1, p2)
+	}
+	if alpha <= 0 || alpha >= 1 || power <= 0 || power >= 1 {
+		return 0, fmt.Errorf("stats: alpha %v / power %v out of (0,1)", alpha, power)
+	}
+	if p1 == p2 {
+		return 0, fmt.Errorf("stats: equal proportions %v are not separable", p1)
+	}
+	pbar := (p1 + p2) / 2
+	za := zQuantile(1 - alpha/2)
+	zb := zQuantile(power)
+	num := za*math.Sqrt(2*pbar*(1-pbar)) + zb*math.Sqrt(p1*(1-p1)+p2*(1-p2))
+	n := (num * num) / ((p1 - p2) * (p1 - p2))
+	return int(math.Ceil(n)), nil
+}
+
 // BootstrapMeanCI estimates a 95 % confidence interval for the mean of xs
 // by resampling.
 func BootstrapMeanCI(rng *simkernel.RNG, stream string, xs []float64, iterations int) (lo, hi float64, err error) {
