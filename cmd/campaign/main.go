@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -51,7 +52,35 @@ func run() error {
 	grid := flag.Duration("grid", campaign.DefaultEnvelopeGrid, "resampling bucket for cross-run envelopes")
 	boot := flag.Int("bootstrap", 1000, "bootstrap iterations for the mean-rate CI")
 	verbose := flag.Bool("v", false, "print one line per finished replicate")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+			}
+		}()
+	}
 
 	spec := campaign.Spec{
 		Seed:           *seed,

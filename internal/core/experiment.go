@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"frostlab/internal/failure"
@@ -73,6 +74,16 @@ type hostState struct {
 	chipGlitchSeen bool
 	chipLost       bool
 
+	// Hot-path caches, fixed for the run: the thermal response at the
+	// configured duty cycle, the per-disk failure-engine IDs, and the
+	// " OK <reference md5>\n" tail of the healthy workload log line.
+	profile  thermal.Profile
+	diskIDs  []string
+	okSuffix []byte
+	// lineBuf is the host's reusable log-line scratch buffer. FileStore
+	// copies appended bytes, so the buffer can be re-filled every event.
+	lineBuf []byte
+
 	// cpuSeries records the lm-sensors readings of tent hosts, including
 	// any bogus −111 °C values — it is the digital record behind §3.1's
 	// "readings recorded by lm-sensors showed that the CPU had been
@@ -115,6 +126,19 @@ type Experiment struct {
 	havePrev    bool
 
 	nonceCount uint64
+
+	// packs shares generated trees and pristine archives between twin
+	// hosts, which run the same disk image.
+	packs *workload.PackCache
+
+	// tentW is the running sum of online tent-host power at the configured
+	// duty cycle. It is recomputed (in fleet order, with the same float
+	// additions as hardware.TotalPower) on every install/online/offline/
+	// relocate transition instead of rebuilding a host slice every EnvStep.
+	tentW units.Watts
+	// tsBuf holds the RFC3339 timestamp of the current failure tick,
+	// formatted once per tick and shared by every host's sensor line.
+	tsBuf []byte
 }
 
 // New builds an experiment from the configuration: the paper's reference
@@ -158,6 +182,7 @@ func New(cfg Config) (*Experiment, error) {
 		engine:   engine,
 		coll:     monitor.NewCollector(0),
 		hosts:    make(map[string]*hostState),
+		packs:    workload.NewPackCache(),
 	}
 	e.station = weather.NewStation(wx, rng, cfg.StationInterval)
 	e.meter = sensors.NewPowerMeter(rng, "tent-feed")
@@ -174,8 +199,14 @@ func New(cfg Config) (*Experiment, error) {
 			cpuMin: units.Celsius(math.Inf(1)),
 			cpuMax: units.Celsius(math.Inf(-1)),
 		}
+		hs.profile, err = thermal.NewProfile(
+			h.Spec.Power(cfg.DutyCycle), h.Spec.CPUPower(cfg.DutyCycle), h.Spec.Airflow)
+		if err != nil {
+			return nil, fmt.Errorf("core: host %s thermal profile: %w", h.ID, err)
+		}
 		for i := 0; i < h.Spec.Layout.DiskCount(); i++ {
 			hs.disks = append(hs.disks, sensors.NewDisk(rng, h.ID, i))
+			hs.diskIDs = append(hs.diskIDs, fmt.Sprintf("%s/%d", h.ID, i))
 		}
 		hs.agent = monitor.NewAgent(h.ID, hs.store)
 		engine.RegisterHost(h.ID, h.Spec.KnownDefective)
@@ -206,16 +237,24 @@ func (e *Experiment) environment(hs *hostState) (units.Celsius, units.RelHumidit
 	}
 }
 
-// tentPower sums the draw of online tent hosts at the configured duty.
-func (e *Experiment) tentPower() units.Watts {
-	var hosts []*hardware.Host
+// tentPower returns the draw of online tent hosts at the configured duty.
+func (e *Experiment) tentPower() units.Watts { return e.tentW }
+
+// recomputeTentPower refreshes the cached tent power sum. It must be called
+// after every transition that changes which hosts count: install, disk
+// array loss, transient failure, repair, relocation. The loop walks the
+// fleet in order and performs the same additions as the old per-EnvStep
+// hardware.TotalPower pass, so the cached value is bit-identical to
+// recomputing from scratch.
+func (e *Experiment) recomputeTentPower() {
+	var sum units.Watts
 	for _, id := range e.order {
 		hs := e.hosts[id]
 		if hs.installed && hs.online && !hs.relocated && hs.host.Location == hardware.Tent {
-			hosts = append(hosts, hs.host)
+			sum += hs.host.Spec.Power(e.cfg.DutyCycle)
 		}
 	}
-	return hardware.TotalPower(hosts, e.cfg.DutyCycle)
+	e.tentW = sum
 }
 
 // Run executes the normal phase and returns the assembled results.
@@ -343,6 +382,11 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// A periodic task that failed to re-schedule has silently stopped
+	// recurring; that is a corrupted simulation, not a partial result.
+	if err := e.sched.Err(); err != nil {
+		return nil, err
+	}
 	return e.assembleResults()
 }
 
@@ -363,7 +407,7 @@ func modName(m thermal.Modification) string {
 
 // installHost brings a host online and starts its workload cycle.
 func (e *Experiment) installHost(now time.Time, hs *hostState) error {
-	runner, err := workload.NewRunner(hs.host.ID, e.cfg.workloadSeed(hs.host),
+	runner, err := e.packs.NewRunner(hs.host.ID, e.cfg.workloadSeed(hs.host),
 		e.cfg.WorkloadFiles, e.cfg.WorkloadBytes, e.cfg.WorkloadBlockSize, e.rng)
 	if err != nil {
 		return err
@@ -371,6 +415,8 @@ func (e *Experiment) installHost(now time.Time, hs *hostState) error {
 	hs.runner = runner
 	hs.installed = true
 	hs.online = true
+	hs.okSuffix = []byte(" OK " + runner.Reference().String() + "\n")
+	e.recomputeTentPower()
 	if hs.host.Location == hardware.Tent {
 		hs.cpuSeries = timeseries.New("cpu_"+hs.host.ID, "°C")
 	}
@@ -398,8 +444,12 @@ func (e *Experiment) workloadCycle(now time.Time, hs *hostState) {
 	hs.cycles++
 	corrupted := e.engine.CycleCorrupted(hs.host.ID, e.cfg.PagesPerCycle, hs.host.Spec.ECC)
 	if !corrupted {
-		line := fmt.Sprintf("%s OK %s\n", now.UTC().Format(time.RFC3339), hs.runner.Reference())
-		hs.store.Append(monitor.MD5Log, []byte(line))
+		// The healthy line is timestamp + a precomputed " OK <md5>\n" tail,
+		// assembled in the host's reusable buffer (FileStore copies).
+		buf := now.UTC().AppendFormat(hs.lineBuf[:0], time.RFC3339)
+		buf = append(buf, hs.okSuffix...)
+		hs.store.Append(monitor.MD5Log, buf)
+		hs.lineBuf = buf[:0]
 		return
 	}
 	res, err := hs.runner.RunCycle(now, true)
@@ -429,6 +479,9 @@ func (e *Experiment) failureTick(now time.Time) error {
 	e.prevOutside = out.Temp
 	e.havePrev = true
 
+	// One timestamp render serves every host's sensor line this tick.
+	e.tsBuf = now.UTC().AppendFormat(e.tsBuf[:0], time.RFC3339)
+
 	for _, id := range e.order {
 		hs := e.hosts[id]
 		if !hs.installed || !hs.online {
@@ -440,19 +493,10 @@ func (e *Experiment) failureTick(now time.Time) error {
 			// (§4.2.1: host 15 "was left to operate in an indoors
 			// environment; no further failures have been detected"). It
 			// keeps working and logging but is no longer failure-sampled.
-			temps, err := thermal.SteadyState(ambient,
-				hs.host.Spec.Power(e.cfg.DutyCycle), hs.host.Spec.CPUPower(e.cfg.DutyCycle), hs.host.Spec.Airflow)
-			if err != nil {
-				return err
-			}
-			e.watchChip(now, hs, temps.CPU)
+			e.watchChip(now, hs, hs.profile.At(ambient).CPU)
 			continue
 		}
-		temps, err := thermal.SteadyState(ambient,
-			hs.host.Spec.Power(e.cfg.DutyCycle), hs.host.Spec.CPUPower(e.cfg.DutyCycle), hs.host.Spec.Airflow)
-		if err != nil {
-			return err
-		}
+		temps := hs.profile.At(ambient)
 		if temps.CPU < hs.cpuMin {
 			hs.cpuMin = temps.CPU
 		}
@@ -467,7 +511,7 @@ func (e *Experiment) failureTick(now time.Time) error {
 			}
 			d.Observe(e.cfg.FailureStep, temps.Disk)
 			ev, err := e.engine.StepDisk(now, e.cfg.FailureStep,
-				fmt.Sprintf("%s/%d", hs.host.ID, i), temps.Disk, e.cfg.Disk)
+				hs.diskIDs[i], temps.Disk, e.cfg.Disk)
 			if err != nil {
 				return err
 			}
@@ -510,17 +554,22 @@ func tern[T any](c bool, a, b T) T {
 // append the sensor log line the monitoring host collects.
 func (e *Experiment) watchChip(now time.Time, hs *hostState, trueCPU units.Celsius) {
 	reading, err := hs.chip.Read(trueCPU)
-	var line string
+	// The line is the tick's shared timestamp (e.tsBuf, rendered once in
+	// failureTick) plus the reading, built in the host's reusable buffer.
+	buf := append(hs.lineBuf[:0], e.tsBuf...)
 	switch {
 	case err != nil:
-		line = fmt.Sprintf("%s cpu=ERR chip not detected\n", now.UTC().Format(time.RFC3339))
+		buf = append(buf, " cpu=ERR chip not detected\n"...)
 	default:
-		line = fmt.Sprintf("%s cpu=%.1f\n", now.UTC().Format(time.RFC3339), float64(reading))
+		buf = append(buf, " cpu="...)
+		buf = strconv.AppendFloat(buf, float64(reading), 'f', 1, 64)
+		buf = append(buf, '\n')
 		if hs.cpuSeries != nil {
 			_ = hs.cpuSeries.Append(now, float64(reading))
 		}
 	}
-	hs.store.Append(monitor.SensorLog, []byte(line))
+	hs.store.Append(monitor.SensorLog, buf)
+	hs.lineBuf = buf[:0]
 
 	switch hs.chip.State() {
 	case sensors.ChipGlitching:
@@ -559,6 +608,7 @@ func (e *Experiment) handleDiskFailure(now time.Time, hs *hostState, index int) 
 	}
 	hs.storageLost = true
 	hs.online = false
+	e.recomputeTentPower()
 	e.logEvent(now, EventStorageLost, hs.host.ID,
 		fmt.Sprintf("disk %d failed; %s array lost, host down", index, layout))
 }
@@ -569,6 +619,7 @@ func (e *Experiment) handleDiskFailure(now time.Time, hs *hostState, index int) 
 func (e *Experiment) handleTransient(now time.Time, hs *hostState) {
 	hs.transients = append(hs.transients, now)
 	hs.online = false
+	e.recomputeTentPower()
 	nth := len(hs.transients)
 	e.logEvent(now, EventTransient, hs.host.ID,
 		fmt.Sprintf("system failure #%d in %s", nth, hs.envName()))
@@ -576,6 +627,7 @@ func (e *Experiment) handleTransient(now time.Time, hs *hostState) {
 	if nth == 1 {
 		_, _ = e.sched.At(now.Add(after), func(at time.Time) {
 			hs.online = true
+			e.recomputeTentPower()
 			e.logEvent(at, EventRepair, hs.host.ID, "inspection and reset; no cause found; marked transient")
 		})
 		return
@@ -583,6 +635,7 @@ func (e *Experiment) handleTransient(now time.Time, hs *hostState) {
 	_, _ = e.sched.At(now.Add(after), func(at time.Time) {
 		hs.relocated = true
 		hs.online = true
+		e.recomputeTentPower()
 		e.logEvent(at, EventRelocation, hs.host.ID,
 			"could not resume outside; taken indoors, stable since")
 	})
@@ -652,7 +705,7 @@ func (e *Experiment) monitorRound(now time.Time) error {
 
 func (e *Experiment) collectHost(now time.Time, hs *hostState) error {
 	e.nonceCount++
-	label := fmt.Sprintf("%s/%d", e.cfg.Seed, e.nonceCount)
+	label := e.cfg.Seed + "/" + strconv.FormatUint(e.nonceCount, 10)
 	_, err := monitor.CollectInProcess(hs.agent, e.coll, hs.host.ID, hs.psk, label, now)
 	return err
 }

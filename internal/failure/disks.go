@@ -74,7 +74,14 @@ func (e *Engine) StepDisk(now time.Time, dt time.Duration, diskID string, temp u
 	}
 	h := p.hazardPerHour(temp)
 	pFail := 1 - expNeg(h*dt.Hours())
-	if !e.rng.Bernoulli("disk/"+diskID, pFail) {
+	// Intern the stream name once per drive: StepDisk runs for every disk
+	// on every failure tick, and the name is stable for the drive's life.
+	stream, ok := e.diskStreams[diskID]
+	if !ok {
+		stream = "disk/" + diskID
+		e.diskStreams[diskID] = stream
+	}
+	if !e.rng.Bernoulli(stream, pFail) {
 		return nil, nil
 	}
 	ev := Event{

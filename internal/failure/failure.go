@@ -169,13 +169,26 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// hostRec is the engine's per-host state: the weak-unit lottery outcome and
+// the host's RNG stream names, interned at registration so the per-step
+// draws (every host, every failure tick and workload cycle) concatenate no
+// strings. The names are identical to the previous ad-hoc concatenations,
+// so the draw sequences are unchanged.
+type hostRec struct {
+	weak      bool
+	sysStream string // "host/"+id
+	memStream string // "mem/"+id
+}
+
 // Engine samples failures. Create with NewEngine; register each subject
 // before stepping it.
 type Engine struct {
 	params Params
 	rng    *simkernel.RNG
-	weak   map[string]bool
-	log    []Event
+	hosts  map[string]*hostRec
+	// diskStreams interns "disk/"+diskID per drive on first step.
+	diskStreams map[string]string
+	log         []Event
 }
 
 // NewEngine returns an engine with the given calibration.
@@ -183,7 +196,12 @@ func NewEngine(params Params, rng *simkernel.RNG) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{params: params, rng: rng, weak: make(map[string]bool)}, nil
+	return &Engine{
+		params:      params,
+		rng:         rng,
+		hosts:       make(map[string]*hostRec),
+		diskStreams: make(map[string]string),
+	}, nil
 }
 
 // Params returns the engine's calibration.
@@ -193,24 +211,31 @@ func (e *Engine) Params() Params { return e.params }
 // units from vendor B's bad series. Registering twice is a no-op and keeps
 // the first draw.
 func (e *Engine) RegisterHost(hostID string, knownDefective bool) {
-	if _, done := e.weak[hostID]; done {
+	if _, done := e.hosts[hostID]; done {
 		return
 	}
 	frac := e.params.WeakFractionHealthy
 	if knownDefective {
 		frac = e.params.WeakFractionDefective
 	}
-	e.weak[hostID] = e.rng.Bernoulli("weak/"+hostID, frac)
+	e.hosts[hostID] = &hostRec{
+		weak:      e.rng.Bernoulli("weak/"+hostID, frac),
+		sysStream: "host/" + hostID,
+		memStream: "mem/" + hostID,
+	}
 }
 
 // Weak reports the lottery outcome for a registered host.
-func (e *Engine) Weak(hostID string) bool { return e.weak[hostID] }
+func (e *Engine) Weak(hostID string) bool {
+	r, ok := e.hosts[hostID]
+	return ok && r.weak
+}
 
 // hazardPerHour computes a host's current transient hazard.
-func (e *Engine) hazardPerHour(hostID string, s Stress) float64 {
+func (e *Engine) hazardPerHour(rec *hostRec, s Stress) float64 {
 	p := e.params
 	h := p.BaseTransientPerHour
-	if e.weak[hostID] {
+	if rec.weak {
 		h = p.WeakTransientPerHour
 	}
 	mult := 1.0
@@ -232,15 +257,16 @@ func (e *Engine) hazardPerHour(hostID string, s Stress) float64 {
 // a failure does (crash, reset, relocation); the engine only samples and
 // logs it.
 func (e *Engine) StepHost(now time.Time, dt time.Duration, hostID string, s Stress) (*Event, error) {
-	if _, ok := e.weak[hostID]; !ok {
+	rec, ok := e.hosts[hostID]
+	if !ok {
 		return nil, fmt.Errorf("failure: host %q not registered", hostID)
 	}
 	if dt <= 0 {
 		return nil, fmt.Errorf("failure: non-positive step %v", dt)
 	}
-	h := e.hazardPerHour(hostID, s)
+	h := e.hazardPerHour(rec, s)
 	pFail := 1 - expNeg(h*dt.Hours())
-	if !e.rng.Bernoulli("host/"+hostID, pFail) {
+	if !e.rng.Bernoulli(rec.sysStream, pFail) {
 		return nil, nil
 	}
 	ev := Event{
@@ -288,7 +314,11 @@ func (e *Engine) CycleCorrupted(hostID string, pages int64, ecc bool) bool {
 		return false
 	}
 	p := 1 - powOneMinus(e.params.PageFailureRate, pages)
-	return e.rng.Bernoulli("mem/"+hostID, p)
+	stream, ok := e.memStream(hostID)
+	if !ok {
+		stream = "mem/" + hostID // unregistered host: preserve the old name
+	}
+	return e.rng.Bernoulli(stream, p)
 }
 
 // LogMemoryCorruption records a bad-hash incident.
@@ -315,6 +345,15 @@ func (e *Engine) EventsFor(subjectID string) []Event {
 		}
 	}
 	return out
+}
+
+// memStream returns a registered host's interned memory stream name.
+func (e *Engine) memStream(hostID string) (string, bool) {
+	r, ok := e.hosts[hostID]
+	if !ok {
+		return "", false
+	}
+	return r.memStream, true
 }
 
 // expNeg computes exp(-x); x >= 0.

@@ -156,7 +156,7 @@ func TestWeakHostFailsWithinWeeks(t *testing.T) {
 	for r := 0; r < runs; r++ {
 		er := newEngine(t, fmt.Sprintf("weak-run-%d", r))
 		er.RegisterHost(id, true)
-		er.weak[id] = true // fix the lottery; we're testing the hazard
+		er.hosts[id].weak = true // fix the lottery; we're testing the hazard
 		total += monthsOfOperation(t, er, id, 12*24*time.Hour, benign)
 	}
 	mean := float64(total) / float64(runs)
@@ -173,7 +173,7 @@ func TestColdAloneAddsNoHazard(t *testing.T) {
 	e := newEngine(t, "cold")
 	e.RegisterHost("01", false)
 	cold := Stress{Ambient: -22, RH: 85, CaseAir: -5}
-	if hc, hb := e.hazardPerHour("01", cold), e.hazardPerHour("01", benign); hc != hb {
+	if hc, hb := e.hazardPerHour(e.hosts["01"], cold), e.hazardPerHour(e.hosts["01"], benign); hc != hb {
 		t.Errorf("cold hazard %v != benign hazard %v; cold alone must not matter", hc, hb)
 	}
 }
@@ -183,8 +183,8 @@ func TestHighRHAddsLittle(t *testing.T) {
 	e.RegisterHost("01", false)
 	humid := benign
 	humid.RH = 95
-	hb := e.hazardPerHour("01", benign)
-	hh := e.hazardPerHour("01", humid)
+	hb := e.hazardPerHour(e.hosts["01"], benign)
+	hh := e.hazardPerHour(e.hosts["01"], humid)
 	if hh < hb {
 		t.Error("extreme RH reduced hazard")
 	}
@@ -198,7 +198,7 @@ func TestCondensationIsSerious(t *testing.T) {
 	e.RegisterHost("01", false)
 	wet := benign
 	wet.Condensing = true
-	if h := e.hazardPerHour("01", wet); h < e.hazardPerHour("01", benign)*10 {
+	if h := e.hazardPerHour(e.hosts["01"], wet); h < e.hazardPerHour(e.hosts["01"], benign)*10 {
 		t.Error("condensation factor too weak; §5 treats it as the real risk")
 	}
 }
@@ -209,7 +209,7 @@ func TestHotCaseAddsHazard(t *testing.T) {
 	e.RegisterHost("01", false)
 	hot := benign
 	hot.CaseAir = 60
-	if e.hazardPerHour("01", hot) <= e.hazardPerHour("01", benign) {
+	if e.hazardPerHour(e.hosts["01"], hot) <= e.hazardPerHour(e.hosts["01"], benign) {
 		t.Error("hot case did not raise hazard")
 	}
 }
@@ -219,7 +219,7 @@ func TestCyclingAddsHazard(t *testing.T) {
 	e.RegisterHost("01", false)
 	swingy := benign
 	swingy.TempRatePerHour = 5
-	if e.hazardPerHour("01", swingy) <= e.hazardPerHour("01", benign) {
+	if e.hazardPerHour(e.hosts["01"], swingy) <= e.hazardPerHour(e.hosts["01"], benign) {
 		t.Error("thermal cycling did not raise hazard")
 	}
 }
@@ -337,7 +337,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() []Event {
 		e := newEngine(t, "det")
 		e.RegisterHost("15", true)
-		e.weak["15"] = true
+		e.hosts["15"].weak = true
 		for at := t0; at.Before(t0.AddDate(0, 1, 0)); at = at.Add(time.Hour) {
 			_, _ = e.StepHost(at, time.Hour, "15", benign)
 		}

@@ -13,11 +13,11 @@
 package monitor
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -104,15 +104,14 @@ const (
 // ErrRemote carries an agent-reported error.
 var ErrRemote = errors.New("monitor: remote error")
 
-// encodeNamed prefixes a payload with a length-prefixed name.
+// encodeNamed prefixes a payload with a length-prefixed name. The output
+// size is known exactly, so the frame is assembled in a single allocation.
 func encodeNamed(name string, payload []byte) []byte {
-	var buf bytes.Buffer
-	var hdr [2]byte
-	binary.BigEndian.PutUint16(hdr[:], uint16(len(name)))
-	buf.Write(hdr[:])
-	buf.WriteString(name)
-	buf.Write(payload)
-	return buf.Bytes()
+	out := make([]byte, 2+len(name)+len(payload))
+	binary.BigEndian.PutUint16(out, uint16(len(name)))
+	copy(out[2:], name)
+	copy(out[2+len(name):], payload)
+	return out
 }
 
 // decodeNamed splits a named payload.
@@ -151,14 +150,7 @@ func (a *Agent) Serve(sess *wire.Session) error {
 		}
 		switch ft {
 		case ftList:
-			names := a.store.Names()
-			joined := ""
-			for i, n := range names {
-				if i > 0 {
-					joined += "\n"
-				}
-				joined += n
-			}
+			joined := strings.Join(a.store.Names(), "\n")
 			if err := sess.Send(ftListResp, []byte(joined)); err != nil {
 				return err
 			}

@@ -82,10 +82,13 @@ func DefaultChipConfig() ChipConfig {
 // Chip emulates one motherboard sensor chip as read via lm-sensors.
 type Chip struct {
 	cfg      ChipConfig
-	rng      *simkernel.RNG
-	stream   string
-	state    ChipState
-	coldTime time.Duration
+	rng    *simkernel.RNG
+	stream string
+	// noiseStream is the precomputed stream+"/noise" name, so the per-read
+	// noise draw on the hot path concatenates nothing.
+	noiseStream string
+	state       ChipState
+	coldTime    time.Duration
 	// susceptible chips (a per-individual lottery) are the only ones that
 	// ever glitch; the paper saw exactly one chip fail across 19 hosts.
 	susceptible bool
@@ -99,6 +102,7 @@ func NewChip(cfg ChipConfig, rng *simkernel.RNG, hostID string, susceptibility f
 		cfg:         cfg,
 		rng:         rng,
 		stream:      stream,
+		noiseStream: stream + "/noise",
 		susceptible: rng.Bernoulli(stream+"/lottery", susceptibility),
 	}
 }
@@ -134,7 +138,7 @@ func (c *Chip) Read(trueTemp units.Celsius) (units.Celsius, error) {
 	case ChipGlitching:
 		return BogusReading, nil
 	default:
-		noise := c.rng.Normal(c.stream+"/noise", 0, c.cfg.NoiseSigma)
+		noise := c.rng.Normal(c.noiseStream, 0, c.cfg.NoiseSigma)
 		return trueTemp + units.Celsius(noise), nil
 	}
 }

@@ -2,12 +2,9 @@ package thermal
 
 import (
 	"fmt"
-	"math"
 
 	"frostlab/internal/units"
 )
-
-func mathSin(x float64) float64 { return math.Sin(x) }
 
 // AirflowModel describes how well a machine's case moves intake air across
 // its components. The paper's unreliable vendor-B series had "bad air flow
@@ -48,17 +45,49 @@ type ComponentTemps struct {
 // the sub-zero CPU readings the paper (and the overclocking community)
 // report.
 func SteadyState(intake units.Celsius, totalPower, cpuPower units.Watts, air AirflowModel) (ComponentTemps, error) {
-	if err := air.Validate(); err != nil {
+	p, err := NewProfile(totalPower, cpuPower, air)
+	if err != nil {
 		return ComponentTemps{}, err
 	}
-	if totalPower < 0 || cpuPower < 0 || cpuPower > totalPower {
-		return ComponentTemps{}, fmt.Errorf("thermal: inconsistent power split: total %v, cpu %v", totalPower, cpuPower)
+	return p.At(intake), nil
+}
+
+// Profile is a machine's thermal response at a fixed power draw: because
+// the steady-state model is affine in intake temperature, the validated
+// per-component rises above intake can be computed once (per host, per duty
+// cycle) and evaluating a new intake temperature reduces to three
+// additions. Profile.At is bit-identical to SteadyState with the same
+// arguments — it performs the same float operations in the same order.
+type Profile struct {
+	// dCase is the case-air rise above intake, totalPower/CaseConductance.
+	dCase units.Celsius
+	// dCPU is the CPU rise above case air, cpuPower/CPUConductance.
+	dCPU units.Celsius
+	// dDisk is the drive rise above case air, 6 W/DiskConductance.
+	dDisk units.Celsius
+}
+
+// NewProfile validates the airflow model and power split once and caches
+// the per-component temperature deltas.
+func NewProfile(totalPower, cpuPower units.Watts, air AirflowModel) (Profile, error) {
+	if err := air.Validate(); err != nil {
+		return Profile{}, err
 	}
-	caseAir := intake + units.Celsius(float64(totalPower)/air.CaseConductance)
-	cpu := caseAir + units.Celsius(float64(cpuPower)/air.CPUConductance)
-	// Drives dissipate a few watts each; folded into a constant 6 W here.
-	disk := caseAir + units.Celsius(6/air.DiskConductance)
-	return ComponentTemps{CaseAir: caseAir, CPU: cpu, Disk: disk}, nil
+	if totalPower < 0 || cpuPower < 0 || cpuPower > totalPower {
+		return Profile{}, fmt.Errorf("thermal: inconsistent power split: total %v, cpu %v", totalPower, cpuPower)
+	}
+	return Profile{
+		dCase: units.Celsius(float64(totalPower) / air.CaseConductance),
+		dCPU:  units.Celsius(float64(cpuPower) / air.CPUConductance),
+		// Drives dissipate a few watts each; folded into a constant 6 W here.
+		dDisk: units.Celsius(6 / air.DiskConductance),
+	}, nil
+}
+
+// At evaluates the profile at an intake temperature.
+func (p Profile) At(intake units.Celsius) ComponentTemps {
+	caseAir := intake + p.dCase
+	return ComponentTemps{CaseAir: caseAir, CPU: caseAir + p.dCPU, Disk: caseAir + p.dDisk}
 }
 
 // Airflow presets for the three vendor form factors of §3.4 plus the

@@ -1,0 +1,57 @@
+package thermal
+
+import (
+	"testing"
+
+	"frostlab/internal/units"
+)
+
+// TestProfileMatchesSteadyStateBitwise pins the cache-correctness contract:
+// a Profile evaluated at any intake temperature returns exactly the floats
+// SteadyState returns — same operations, same order, no tolerance.
+func TestProfileMatchesSteadyStateBitwise(t *testing.T) {
+	airflows := []AirflowModel{
+		MediumTowerAirflow, SmallFormFactorAirflow, RackServerAirflow, GenericPCAirflow,
+	}
+	powers := []struct{ total, cpu units.Watts }{
+		{111.25, 50.0625}, // vendor A at duty 0.25
+		{71.25, 24.9375},  // vendor B
+		{235, 105.75},     // vendor C
+		{90, 35},          // prototype
+		{0, 0},
+	}
+	for _, air := range airflows {
+		for _, pw := range powers {
+			p, err := NewProfile(pw.total, pw.cpu, air)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for intake := units.Celsius(-40); intake <= 50; intake += 0.73 {
+				want, err := SteadyState(intake, pw.total, pw.cpu, air)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := p.At(intake); got != want {
+					t.Fatalf("air %+v power %v/%v intake %v: Profile.At %+v != SteadyState %+v",
+						air, pw.total, pw.cpu, intake, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileValidation mirrors SteadyState's input checking.
+func TestProfileValidation(t *testing.T) {
+	if _, err := NewProfile(100, 40, AirflowModel{}); err == nil {
+		t.Error("zero conductances accepted")
+	}
+	if _, err := NewProfile(-1, 0, MediumTowerAirflow); err == nil {
+		t.Error("negative total power accepted")
+	}
+	if _, err := NewProfile(100, 120, MediumTowerAirflow); err == nil {
+		t.Error("cpu power above total accepted")
+	}
+	if _, err := SteadyState(0, 100, 120, MediumTowerAirflow); err == nil {
+		t.Error("SteadyState lost its power-split validation")
+	}
+}

@@ -13,6 +13,7 @@ package thermal
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"frostlab/internal/units"
@@ -249,12 +250,7 @@ func (b *Basement) Tick(dt time.Duration) {
 
 // Air implements Environment.
 func (b *Basement) Air() (units.Celsius, units.RelHumidity) {
-	return b.Setpoint + b.Swing*units.Celsius(sin(b.phase)), b.RH
-}
-
-func sin(x float64) float64 {
-	// Tiny wrapper so the file's only math dependency is explicit.
-	return mathSin(x)
+	return b.Setpoint + b.Swing*units.Celsius(math.Sin(b.phase)), b.RH
 }
 
 // PrototypeBoxes is the prototype phase enclosure: two hard plastic boxes

@@ -1,0 +1,46 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyntheticAtMemo verifies the same-instant memo is invisible to
+// callers: repeated queries at one instant return identical Conditions, and
+// interleaving other instants (in any order) never perturbs a result
+// compared to a fresh, memo-cold model.
+func TestSyntheticAtMemo(t *testing.T) {
+	mk := func() *Synthetic { return ReferenceWinter0910("memo-test") }
+	base := ExperimentEpoch
+	instants := []time.Time{
+		base,
+		base.Add(time.Minute),
+		base, // revisit after the memo moved on
+		base.Add(15 * time.Minute),
+		base.Add(time.Minute),
+		base.Add(27*time.Hour + 13*time.Minute),
+	}
+	warm := mk()
+	for i, at := range instants {
+		got := warm.At(at)
+		if again := warm.At(at); again != got {
+			t.Fatalf("instant %d (%v): repeated query changed: %+v vs %+v", i, at, got, again)
+		}
+		want := mk().At(at) // memo-cold evaluation of the same instant
+		if got != want {
+			t.Fatalf("instant %d (%v): memoized %+v != fresh %+v", i, at, got, want)
+		}
+	}
+}
+
+// BenchmarkSyntheticAtSameInstant measures the memo hit path (the failure
+// tick and station sampler reuse the env step's instant).
+func BenchmarkSyntheticAtSameInstant(b *testing.B) {
+	s := ReferenceWinter0910("memo-bench")
+	at := ExperimentEpoch.Add(42 * time.Minute)
+	s.At(at)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(at)
+	}
+}

@@ -87,6 +87,16 @@ type Synthetic struct {
 	windMean  float64
 	rhMean    float64
 	tempNoise []harmonic // short-period jitter standing in for turbulence
+
+	// Same-instant memo: within one simulated instant the environment step,
+	// the failure step, and the station sampler all query the same t, so the
+	// harmonic mixture is evaluated once and replayed. Returning the cached
+	// Conditions for the exact same instant is bit-identical by
+	// construction. The memo makes At unsafe for concurrent use on a shared
+	// model; every simulation builds its own Synthetic per run.
+	memoT  time.Time
+	memoC  Conditions
+	memoOK bool
 }
 
 // Config parameterises NewSynthetic.
@@ -209,8 +219,22 @@ func ReferenceWinter0910(seed string) *Synthetic {
 	return s
 }
 
-// At returns the conditions at t. It is a pure function of t.
+// At returns the conditions at t. It is a pure function of t, memoized for
+// the most recently queried instant: the simulation's environment step,
+// failure step, and station sampler all land on the same minute, so the
+// harmonic mixture is evaluated once per simulated instant instead of once
+// per subsystem. The memo makes At unsafe for concurrent use on a shared
+// model (each replicate constructs its own).
 func (s *Synthetic) At(t time.Time) Conditions {
+	if s.memoOK && t.Equal(s.memoT) {
+		return s.memoC
+	}
+	c := s.eval(t)
+	s.memoT, s.memoC, s.memoOK = t, c, true
+	return c
+}
+
+func (s *Synthetic) eval(t time.Time) Conditions {
 	elev := SolarElevation(s.latitude, t)
 	cloud := s.cloudFraction(t)
 

@@ -48,32 +48,87 @@ type Runner struct {
 	refBlocks int
 	pages     int64
 
+	// archive and archiveRes cache the initial pack. The source tree is
+	// immutable and Pack is deterministic, so every later cycle would
+	// produce these exact bytes; re-running the compressor per cycle only
+	// burned time. Corrupting cycles work on a copy.
+	archive    []byte
+	archiveRes ArchiveResult
+	// blockStream and bitStream are the precomputed corruption RNG stream
+	// names.
+	blockStream string
+	bitStream   string
+
 	results []CycleResult
 	// storedArchives keeps the failing tarballs, as §3.5 prescribes.
 	storedArchives map[string][]byte
 }
 
+// PackCache shares generated source trees and their pristine archives
+// between runners with the same tree seed and geometry. Basement twins run
+// their tent partner's disk image, so within one experiment the same tree
+// would otherwise be generated and compressed twice. Not concurrent-safe:
+// each experiment (campaign replicate) owns its own cache.
+type PackCache struct {
+	entries map[packKey]*packEntry
+}
+
+type packKey struct {
+	seed      string
+	files     int
+	bytes     int64
+	blockSize int
+}
+
+type packEntry struct {
+	tree    *SourceTree
+	archive []byte
+	res     ArchiveResult
+}
+
+// NewPackCache returns an empty cache.
+func NewPackCache() *PackCache {
+	return &PackCache{entries: make(map[packKey]*packEntry)}
+}
+
 // NewRunner prepares a runner: it generates the host's tree, performs the
-// initial pack, and records the reference digest.
-func NewRunner(hostID string, treeSeed string, files int, treeBytes int64, blockSize int, rng *simkernel.RNG) (*Runner, error) {
-	tree, err := GenerateTree(treeSeed, files, treeBytes)
-	if err != nil {
-		return nil, err
-	}
-	_, res, err := Pack(tree, blockSize)
-	if err != nil {
-		return nil, fmt.Errorf("workload: initial pack for %s: %w", hostID, err)
+// initial pack, and records the reference digest. Identical (seed,
+// geometry) requests share one tree and archive; runners never mutate the
+// shared bytes (corrupting cycles copy first).
+func (c *PackCache) NewRunner(hostID string, treeSeed string, files int, treeBytes int64, blockSize int, rng *simkernel.RNG) (*Runner, error) {
+	key := packKey{seed: treeSeed, files: files, bytes: treeBytes, blockSize: blockSize}
+	ent, ok := c.entries[key]
+	if !ok {
+		tree, err := GenerateTree(treeSeed, files, treeBytes)
+		if err != nil {
+			return nil, err
+		}
+		archive, res, err := Pack(tree, blockSize)
+		if err != nil {
+			return nil, fmt.Errorf("workload: initial pack for %s: %w", hostID, err)
+		}
+		ent = &packEntry{tree: tree, archive: archive, res: res}
+		c.entries[key] = ent
 	}
 	return &Runner{
 		hostID:         hostID,
-		tree:           tree,
+		tree:           ent.tree,
 		blockSize:      blockSize,
 		rng:            rng,
-		reference:      res.MD5,
-		refBlocks:      res.Blocks,
-		pages:          PagesTouched(res),
+		reference:      ent.res.MD5,
+		refBlocks:      ent.res.Blocks,
+		pages:          PagesTouched(ent.res),
+		archive:        ent.archive,
+		archiveRes:     ent.res,
+		blockStream:    "workload/" + hostID + "/block",
+		bitStream:      "workload/" + hostID + "/bit",
 		storedArchives: make(map[string][]byte),
 	}, nil
+}
+
+// NewRunner builds a standalone runner with a private cache.
+func NewRunner(hostID string, treeSeed string, files int, treeBytes int64, blockSize int, rng *simkernel.RNG) (*Runner, error) {
+	return NewPackCache().NewRunner(hostID, treeSeed, files, treeBytes, blockSize, rng)
 }
 
 // Reference returns the digest computed at installation.
@@ -102,14 +157,14 @@ func PagesTouched(res ArchiveResult) int64 {
 // — the memory-error mechanism §4.2.2 conjectures. The failing archive is
 // stored and scanned for bad blocks.
 func (r *Runner) RunCycle(now time.Time, corrupt bool) (CycleResult, error) {
-	archive, res, err := Pack(r.tree, r.blockSize)
-	if err != nil {
-		return CycleResult{}, err
-	}
+	// The clean pack is cached from installation (the tree never changes);
+	// a corrupting cycle flips a bit in its own copy.
+	archive, res := r.archive, r.archiveRes
 	if corrupt {
-		block := r.rng.Pick("workload/"+r.hostID+"/block", res.Blocks)
+		archive = append([]byte(nil), r.archive...)
+		block := r.rng.Pick(r.blockStream, res.Blocks)
 		if err := CorruptBit(archive, block, func(n int) int {
-			return r.rng.Pick("workload/"+r.hostID+"/bit", n)
+			return r.rng.Pick(r.bitStream, n)
 		}); err != nil {
 			return CycleResult{}, err
 		}
