@@ -3,25 +3,38 @@
 // host's pre-shared key (the SSH public-key stand-in), and pulls new log
 // content with the rsync delta algorithm.
 //
+// Unlike the paper's collection loop — which §4.2.1 shows losing data to
+// crashed hosts and stalled sensors with no record beyond a hole in the
+// series — this daemon is chaos-hardened: every read and write carries a
+// deadline, failed hosts are retried with exponential backoff inside the
+// round, a per-host circuit breaker stops it hammering a crashed agent,
+// and a gap ledger accounts for every host-round that produced no data.
+// SIGINT/SIGTERM drain the in-flight round, flush the mirror directory,
+// and exit 0.
+//
 // Usage:
 //
 //	collectord -hosts 01=127.0.0.1:7701,02=127.0.0.1:7702 \
 //	           [-keyseed winter0910] [-every 20m] [-rounds 0] [-dir mirror/]
+//	           [-timeout 10s] [-round-timeout 5m] [-retries 3] [-backoff 2s]
+//	           [-breaker-trip 3] [-breaker-cooldown 3] [-http 127.0.0.1:8080]
 //
 // Keys are derived as SHA-256(keyseed/psk/<hostID>) and must match the
 // node agents' -keyseed.
 package main
 
 import (
-	"crypto/rand"
+	"context"
 	"crypto/sha256"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"frostlab/internal/dash"
@@ -42,13 +55,6 @@ func derivePSK(keyseed, hostID string) []byte {
 	return sum[:]
 }
 
-// randNonce is a crypto/rand-backed wire.Nonce.
-func randNonce() ([]byte, error) {
-	b := make([]byte, wire.NonceSize)
-	_, err := rand.Read(b)
-	return b, err
-}
-
 func run() error {
 	hostsFlag := flag.String("hosts", "", "comma-separated hostID=addr pairs")
 	keyseed := flag.String("keyseed", "winter0910", "pre-shared key derivation seed")
@@ -57,19 +63,26 @@ func run() error {
 	rounds := flag.Int("rounds", 0, "stop after N rounds (0 = forever)")
 	dir := flag.String("dir", "", "write mirrored logs into this directory after each round")
 	httpAddr := flag.String("http", "", "serve the status dashboard on this address (e.g. 127.0.0.1:8080)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-read/-write deadline on agent connections")
+	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "hard deadline for one whole round (0 = none)")
+	retries := flag.Int("retries", 3, "max collection attempts per host per round")
+	backoff := flag.Duration("backoff", 2*time.Second, "base retry backoff (doubles per attempt, ±25% jitter)")
+	breakerTrip := flag.Int("breaker-trip", 3, "consecutive failed rounds before a host's breaker opens (0 = disabled)")
+	breakerCooldown := flag.Int("breaker-cooldown", 3, "rounds an open breaker skips before a half-open probe")
 	flag.Parse()
 
 	if *hostsFlag == "" {
 		return fmt.Errorf("-hosts is required")
 	}
-	type target struct{ id, addr string }
-	var targets []target
+	addrFor := make(map[string]string)
+	var ids []string
 	for _, pair := range strings.Split(*hostsFlag, ",") {
 		id, addr, ok := strings.Cut(pair, "=")
 		if !ok || id == "" || addr == "" {
 			return fmt.Errorf("bad -hosts entry %q (want id=addr)", pair)
 		}
-		targets = append(targets, target{id: id, addr: addr})
+		addrFor[id] = addr
+		ids = append(ids, id)
 	}
 	keyFor := func(id string) ([]byte, error) { return derivePSK(*keyseed, id), nil }
 	if *keyfile != "" {
@@ -84,13 +97,39 @@ func run() error {
 		}
 		keyFor = keys.Lookup
 	}
+
+	// SIGINT/SIGTERM cancel the context: the in-flight round is drained
+	// (its watchdogs tear down blocked connections), the mirror dir is
+	// flushed one last time, and the daemon exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
 	coll := monitor.NewCollector(0)
+	fc, err := monitor.NewFleetCollector(coll, monitor.FleetConfig{
+		Hosts: ids,
+		Dial: func(ctx context.Context, hostID string, round, attempt int) (net.Conn, error) {
+			return dialer.DialContext(ctx, "tcp", addrFor[hostID])
+		},
+		KeyFor: keyFor,
+		Retry: monitor.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+			Multiplier:  2,
+			MaxBackoff:  30 * time.Second,
+			JitterFrac:  0.5,
+		},
+		Breaker:      monitor.BreakerConfig{Trip: *breakerTrip, Cooldown: *breakerCooldown},
+		PhaseTimeout: *timeout,
+		RoundTimeout: *roundTimeout,
+		Jitter:       monitor.DeterministicJitter(*keyseed),
+	})
+	if err != nil {
+		return err
+	}
+
 	if *httpAddr != "" {
-		ids := make([]string, len(targets))
-		for i, t := range targets {
-			ids[i] = t.id
-		}
-		srv := dash.NewServer(coll, ids, time.Now())
+		srv := dash.NewServer(coll, ids, time.Now()).WithLedger(fc.Ledger())
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
 				fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
@@ -98,50 +137,78 @@ func run() error {
 		}()
 		fmt.Printf("status dashboard on http://%s/\n", *httpAddr)
 	}
+
 	for round := 1; *rounds == 0 || round <= *rounds; round++ {
-		for _, t := range targets {
-			psk, err := keyFor(t.id)
-			if err != nil {
+		rep := fc.Round(ctx, time.Now())
+		logRound(rep)
+		if *dir != "" {
+			if err := flushMirrors(coll, ids, *dir); err != nil {
 				return err
 			}
-			if err := collectOne(coll, t.id, t.addr, psk); err != nil {
-				fmt.Fprintf(os.Stderr, "round %d host %s: %v\n", round, t.id, err)
-				continue
-			}
 		}
-		hist := coll.History()
-		if len(hist) > 0 {
-			last := hist[len(hist)-1]
-			fmt.Printf("round %d complete: last host %s, %d files, %d literal bytes (%.1f%% saved)\n",
-				round, last.HostID, last.Files, last.LiteralBytes, last.Savings()*100)
-		}
-		if *dir != "" {
-			for _, t := range targets {
-				if err := dumpMirror(coll, t.id, *dir); err != nil {
-					return err
-				}
-			}
+		if ctx.Err() != nil {
+			break
 		}
 		if *rounds != 0 && round == *rounds {
 			break
 		}
-		time.Sleep(*every)
+		if err := sleepCtx(ctx, *every); err != nil {
+			break
+		}
+	}
+
+	// Final flush and gap accounting on the way out.
+	if *dir != "" {
+		if err := flushMirrors(coll, ids, *dir); err != nil {
+			return err
+		}
+	}
+	fmt.Print(fc.Ledger().String())
+	if ctx.Err() != nil {
+		fmt.Println("collectord: signal received; drained and flushed, exiting")
 	}
 	return nil
 }
 
-func collectOne(coll *monitor.Collector, hostID, addr string, psk []byte) error {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return err
+func logRound(rep monitor.RoundReport) {
+	var literal, total int
+	for _, h := range rep.Hosts {
+		literal += h.LiteralBytes
+		total += h.TotalBytes
+		switch h.Status {
+		case monitor.StatusFailed:
+			fmt.Fprintf(os.Stderr, "round %d host %s: failed after %d attempts: %s (breaker %s)\n",
+				rep.Round, h.HostID, h.Attempts, h.Err, h.Breaker)
+		case monitor.StatusSkipped:
+			fmt.Fprintf(os.Stderr, "round %d host %s: skipped, breaker open\n", rep.Round, h.HostID)
+		}
 	}
-	defer conn.Close()
-	sess, err := wire.Dial(conn, hostID, psk, randNonce)
-	if err != nil {
-		return err
+	saved := 0.0
+	if total > 0 {
+		saved = (1 - float64(literal)/float64(total)) * 100
 	}
-	_, err = coll.CollectHost(sess, hostID, time.Now())
-	return err
+	fmt.Printf("round %d complete: %d/%d hosts (coverage %.2f), %d literal bytes (%.1f%% saved)\n",
+		rep.Round, rep.Collected(), len(rep.Hosts), rep.Coverage(), literal, saved)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func flushMirrors(coll *monitor.Collector, ids []string, dir string) error {
+	for _, id := range ids {
+		if err := dumpMirror(coll, id, dir); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func dumpMirror(coll *monitor.Collector, hostID, dir string) error {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"frostlab/internal/chaos"
+	"frostlab/internal/monitor"
+	"frostlab/internal/wire"
+)
+
+// The E13 monitoring-outage study (-phase chaos): an in-process fleet is
+// collected for a number of rounds while a seeded fault injector refuses,
+// stalls, cuts, and corrupts connections, and the hardened collector's
+// gap ledger records exactly what was lost. The whole run is driven by
+// named RNG streams, so the same seed and fault spec replay bit-identically.
+
+type chaosOpts struct {
+	hosts    *int
+	rounds   *int
+	pRefuse  *float64
+	pCut     *float64
+	pCorrupt *float64
+	pStall   *float64
+	down     *string
+	stalled  *string
+	retries  *int
+	trip     *int
+	cooldown *int
+}
+
+func chaosFlags() chaosOpts {
+	return chaosOpts{
+		hosts:    flag.Int("chaos-hosts", 9, "fleet size for -phase chaos"),
+		rounds:   flag.Int("chaos-rounds", 12, "collection rounds for -phase chaos"),
+		pRefuse:  flag.Float64("p-refuse", 0.05, "per-attempt probability of a refused dial"),
+		pCut:     flag.Float64("p-cut", 0.05, "per-attempt probability of a mid-frame cut"),
+		pCorrupt: flag.Float64("p-corrupt", 0.1, "per-attempt probability of payload bit corruption"),
+		pStall:   flag.Float64("p-stall", 0.05, "per-attempt probability of a read stall"),
+		down:     flag.String("down", "", "crash schedule host=from-to[,host=from-to] (rounds, open end: from-)"),
+		stalled:  flag.String("stalled", "", "stall schedule, same syntax as -down"),
+		retries:  flag.Int("chaos-retries", 3, "collection attempts per host per round"),
+		trip:     flag.Int("breaker-trip", 2, "consecutive failed rounds before a host's breaker opens"),
+		cooldown: flag.Int("breaker-cooldown", 2, "rounds an open breaker skips before probing"),
+	}
+}
+
+// parseSchedule parses "03=1-4,07=2-" into round ranges.
+func parseSchedule(s string) (map[string][]chaos.RoundRange, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string][]chaos.RoundRange)
+	for _, pair := range strings.Split(s, ",") {
+		host, span, ok := strings.Cut(pair, "=")
+		if !ok || host == "" {
+			return nil, fmt.Errorf("bad schedule entry %q (want host=from-to)", pair)
+		}
+		fromStr, toStr, ok := strings.Cut(span, "-")
+		if !ok {
+			toStr = fromStr // "host=5" means round 5 only
+		}
+		from, err := strconv.Atoi(fromStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad schedule entry %q: %v", pair, err)
+		}
+		to := 0
+		if toStr != "" {
+			if to, err = strconv.Atoi(toStr); err != nil {
+				return nil, fmt.Errorf("bad schedule entry %q: %v", pair, err)
+			}
+		}
+		out[host] = append(out[host], chaos.RoundRange{From: from, To: to})
+	}
+	return out, nil
+}
+
+func runChaosStudy(seed string, o chaosOpts) error {
+	down, err := parseSchedule(*o.down)
+	if err != nil {
+		return err
+	}
+	stalled, err := parseSchedule(*o.stalled)
+	if err != nil {
+		return err
+	}
+	inj, err := chaos.New(chaos.Spec{
+		Seed:       seed + "/chaos",
+		PRefuse:    *o.pRefuse,
+		PStallRead: *o.pStall,
+		PCut:       *o.pCut,
+		PCorrupt:   *o.pCorrupt,
+		Down:       down,
+		Stalled:    stalled,
+	})
+	if err != nil {
+		return err
+	}
+
+	ids := make([]string, *o.hosts)
+	agents := make(map[string]*monitor.Agent, *o.hosts)
+	keys := make(wire.Keystore, *o.hosts)
+	for i := range ids {
+		id := fmt.Sprintf("%02d", i+1)
+		ids[i] = id
+		store := monitor.NewFileStore()
+		store.Append(monitor.MD5Log,
+			[]byte("2010-02-19T12:10:00Z OK d41d8cd98f00b204e9800998ecf8427e\n"))
+		store.Append(monitor.SensorLog, []byte("2010-02-19T12:10:00Z cpu=-4.1\n"))
+		agents[id] = monitor.NewAgent(id, store)
+		keys[id] = []byte(seed + "/psk/" + id)
+	}
+
+	fc, err := monitor.NewFleetCollector(monitor.NewCollector(0), monitor.FleetConfig{
+		Hosts:        ids,
+		Dial:         inj.WrapDialer(monitor.InProcessDialer(agents, keys, seed)),
+		KeyFor:       keys.Lookup,
+		NonceFor:     monitor.InProcessNonces(seed),
+		Retry:        monitor.RetryPolicy{MaxAttempts: *o.retries, BaseBackoff: time.Second, Multiplier: 2},
+		Breaker:      monitor.BreakerConfig{Trip: *o.trip, Cooldown: *o.cooldown},
+		PhaseTimeout: 2 * time.Second,
+		RoundTimeout: 30 * time.Second,
+		Jitter:       monitor.DeterministicJitter(seed),
+		// Backoffs are drawn (and therefore deterministic) but not slept:
+		// the study measures coverage, not wall-clock.
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("E13 monitoring-outage study: %d hosts, %d rounds, seed %q\n", *o.hosts, *o.rounds, seed)
+	fmt.Printf("faults: refuse %.2f, stall %.2f, cut %.2f, corrupt %.2f; down %q; stalled %q\n\n",
+		*o.pRefuse, *o.pStall, *o.pCut, *o.pCorrupt, *o.down, *o.stalled)
+	at := time.Date(2010, time.February, 19, 12, 0, 0, 0, time.UTC)
+	for round := 1; round <= *o.rounds; round++ {
+		rep := fc.Round(context.Background(), at)
+		at = at.Add(20 * time.Minute)
+		var notes []string
+		for _, h := range rep.Hosts {
+			switch h.Status {
+			case monitor.StatusFailed:
+				notes = append(notes, fmt.Sprintf("%s failed (%d attempts)", h.HostID, h.Attempts))
+			case monitor.StatusSkipped:
+				notes = append(notes, h.HostID+" skipped")
+			}
+		}
+		detail := ""
+		if len(notes) > 0 {
+			detail = ": " + strings.Join(notes, ", ")
+		}
+		fmt.Printf("round %2d: coverage %.4f%s\n", round, rep.Coverage(), detail)
+	}
+	fmt.Printf("\n%s", fc.Ledger().String())
+	return nil
+}

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	frostctl [-seed SEED] [-phase all|prototype|normal] [-monitor 20m]
+//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events]
 //
 // With no flags it reproduces the reference run (seed winter0910-r115).
+// -phase chaos runs the E13 monitoring-outage study instead: an in-process
+// fleet collected under seeded fault injection (see -chaos-* flags).
 package main
 
 import (
@@ -41,7 +43,12 @@ func run() error {
 	saveTo := flag.String("save", "", "save the run's results as JSON to this file")
 	loadFrom := flag.String("load", "", "skip the simulation; render a previously saved run")
 	mdTo := flag.String("md", "", "write a complete markdown run report to this file")
+	ch := chaosFlags()
 	flag.Parse()
+
+	if *phase == "chaos" {
+		return runChaosStudy(*seed, ch)
+	}
 
 	if *phase == "all" || *phase == "prototype" {
 		proto, err := core.RunPrototype(core.DefaultPrototypeConfig(*seed))
@@ -116,6 +123,9 @@ func run() error {
 	fmt.Println(report.TableSensorFault(r))
 	if *monitor > 0 {
 		fmt.Println(report.TableMonitoring(r))
+	}
+	if len(r.MonitorGaps) > 0 {
+		fmt.Println(report.TableCoverage(r))
 	}
 	pue, err := report.TablePUE()
 	if err != nil {

@@ -3,21 +3,31 @@
 // source tree, appends md5sum results to its log store, and serves
 // authenticated delta-sync collections over TCP.
 //
+// SIGINT/SIGTERM shut it down gracefully: the workload loop stops, the
+// listener closes so no new collections start, in-flight collections are
+// drained (bounded by -drain), and the agent exits 0 — so a collector
+// mid-sync sees a complete round rather than a torn frame.
+//
 // Usage:
 //
 //	nodeagent -id 01 [-listen 127.0.0.1:7701] [-keyseed winter0910]
-//	          [-cycle 10m] [-cycles 0]
+//	          [-cycle 10m] [-cycles 0] [-drain 30s]
 //
 // Keys are derived as SHA-256(keyseed/psk/<id>), matching collectord.
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"frostlab/internal/monitor"
@@ -51,6 +61,7 @@ func run() error {
 	keyfile := flag.String("keystore", "", "keystore file of hostID hexkey lines (overrides -keyseed)")
 	cycle := flag.Duration("cycle", 10*time.Minute, "workload cycle period (§3.5: 10 minutes)")
 	cycles := flag.Int("cycles", 0, "stop the workload after N cycles (0 = forever)")
+	drain := flag.Duration("drain", 30*time.Second, "max wait for in-flight collections on shutdown")
 	flag.Parse()
 
 	if *id == "" {
@@ -84,13 +95,23 @@ func run() error {
 	fmt.Printf("nodeagent %s: reference md5 %s, %d blocks, listening on %s\n",
 		*id, runner.Reference(), runner.ReferenceBlocks(), *listen)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Workload loop: real wall-clock cadence with the paper's 0-119 s
 	// start fuzz, scaled proportionally when a shorter -cycle is chosen.
+	// The loop selects on the signal context so shutdown never waits out
+	// a sleep.
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		fuzz := workload.StartFuzz(rng, *id)
 		scale := float64(*cycle) / float64(workload.CyclePeriod)
 		for n := 0; *cycles == 0 || n < *cycles; n++ {
-			time.Sleep(time.Duration(float64(fuzz()) * scale))
+			if sleepCtx(ctx, time.Duration(float64(fuzz())*scale)) != nil {
+				return
+			}
 			res, err := runner.RunCycle(time.Now(), false)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cycle: %v\n", err)
@@ -102,7 +123,9 @@ func run() error {
 			}
 			line := fmt.Sprintf("%s %s %s\n", res.At.UTC().Format(time.RFC3339), status, res.MD5)
 			store.Append(monitor.MD5Log, []byte(line))
-			time.Sleep(*cycle)
+			if sleepCtx(ctx, *cycle) != nil {
+				return
+			}
 		}
 	}()
 
@@ -110,13 +133,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
+	// On signal: close the listener so Accept returns and no new
+	// collections start.
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	var inflight sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
 			return err
 		}
+		inflight.Add(1)
 		go func() {
+			defer inflight.Done()
 			defer conn.Close()
 			sess, err := wire.Accept(conn, keys, randNonce)
 			if err != nil {
@@ -127,5 +165,43 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			}
 		}()
+	}
+
+	// Drain: let in-flight collections finish (bounded), stop the
+	// workload, exit clean.
+	fmt.Fprintf(os.Stderr, "nodeagent %s: shutting down, draining collections\n", *id)
+	if !waitTimeout(&inflight, *drain) {
+		fmt.Fprintf(os.Stderr, "nodeagent %s: drain timed out after %v\n", *id, *drain)
+	}
+	wg.Wait()
+	fmt.Fprintf(os.Stderr, "nodeagent %s: stopped\n", *id)
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// waitTimeout waits for wg up to d; false on timeout.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
 	}
 }

@@ -254,6 +254,21 @@ func TestMonitoringMirrorsLogs(t *testing.T) {
 		t.Errorf("literal bytes %d vs corpus %d: delta sync ineffective",
 			r.MonitorLiteralBytes, r.MonitorTotalBytes)
 	}
+	// The gap ledger accounts for every host-round of the run.
+	if len(r.MonitorGaps) == 0 {
+		t.Fatal("no gap accounting in results")
+	}
+	if r.MonitorCoverage <= 0 || r.MonitorCoverage > 1 {
+		t.Errorf("coverage = %v, want (0, 1]", r.MonitorCoverage)
+	}
+	for _, hg := range r.MonitorGaps {
+		if hg.Rounds() == 0 {
+			t.Errorf("host %s has zero accounted rounds", hg.HostID)
+		}
+	}
+	if exp.GapLedger().Rounds() == 0 {
+		t.Error("ledger recorded no rounds")
+	}
 }
 
 func TestSensorLogsContainCPUReadings(t *testing.T) {

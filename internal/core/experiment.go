@@ -114,6 +114,12 @@ type Experiment struct {
 	engine   *failure.Engine
 	coll     *monitor.Collector
 
+	// gaps is the collection plane's coverage ledger: every monitoring
+	// round records which installed hosts produced data and which were
+	// offline, reproducing the §4.2.1 data holes as explicit gaps.
+	gaps     *monitor.GapLedger
+	monRound int
+
 	hosts  map[string]*hostState
 	order  []string
 	events []Event
@@ -181,6 +187,7 @@ func New(cfg Config) (*Experiment, error) {
 		fleet:    fleet,
 		engine:   engine,
 		coll:     monitor.NewCollector(0),
+		gaps:     monitor.NewGapLedger(),
 		hosts:    make(map[string]*hostState),
 		packs:    workload.NewPackCache(),
 	}
@@ -689,23 +696,48 @@ func (e *Experiment) scheduleSwitches() {
 }
 
 // monitorRound collects every online host over an authenticated in-memory
-// connection, exactly as cmd/collectord does over TCP.
+// connection, exactly as cmd/collectord does over TCP. Installed hosts
+// that are offline produce no data, and — unlike the paper's collection
+// scripts, which left nothing but a hole in the series — the round's gap
+// ledger records them as missed, so coverage is auditable after the run.
 func (e *Experiment) monitorRound(now time.Time) error {
+	rep := monitor.RoundReport{Round: e.monRound + 1, At: now}
 	for _, id := range e.order {
 		hs := e.hosts[id]
-		if !hs.installed || !hs.online {
+		if !hs.installed {
 			continue
 		}
-		if err := e.collectHost(now, hs); err != nil {
+		if !hs.online {
+			rep.Hosts = append(rep.Hosts, monitor.HostOutcome{
+				HostID: hs.host.ID,
+				Status: monitor.StatusFailed,
+				Err:    "host offline",
+			})
+			continue
+		}
+		stats, err := e.collectHost(now, hs)
+		if err != nil {
 			return fmt.Errorf("core: collecting %s: %w", id, err)
 		}
+		rep.Hosts = append(rep.Hosts, monitor.HostOutcome{
+			HostID:       hs.host.ID,
+			Status:       monitor.StatusOK,
+			Attempts:     1,
+			Files:        stats.Files,
+			LiteralBytes: stats.LiteralBytes,
+			TotalBytes:   stats.TotalBytes,
+		})
 	}
+	if len(rep.Hosts) == 0 {
+		return nil
+	}
+	e.monRound++
+	e.gaps.Record(rep)
 	return nil
 }
 
-func (e *Experiment) collectHost(now time.Time, hs *hostState) error {
+func (e *Experiment) collectHost(now time.Time, hs *hostState) (monitor.RoundStats, error) {
 	e.nonceCount++
 	label := e.cfg.Seed + "/" + strconv.FormatUint(e.nonceCount, 10)
-	_, err := monitor.CollectInProcess(hs.agent, e.coll, hs.host.ID, hs.psk, label, now)
-	return err
+	return monitor.CollectInProcess(hs.agent, e.coll, hs.host.ID, hs.psk, label, now)
 }

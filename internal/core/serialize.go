@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"frostlab/internal/hardware"
+	"frostlab/internal/monitor"
 	"frostlab/internal/thermal"
 	"frostlab/internal/timeseries"
 	"frostlab/internal/units"
@@ -129,9 +130,11 @@ type resultsDTO struct {
 
 	SwitchFailures []eventDTO `json:"switch_failures"`
 
-	MonitorRounds       int `json:"monitor_rounds"`
-	MonitorLiteralBytes int `json:"monitor_literal_bytes"`
-	MonitorTotalBytes   int `json:"monitor_total_bytes"`
+	MonitorRounds       int               `json:"monitor_rounds"`
+	MonitorLiteralBytes int               `json:"monitor_literal_bytes"`
+	MonitorTotalBytes   int               `json:"monitor_total_bytes"`
+	MonitorCoverage     float64           `json:"monitor_coverage,omitempty"`
+	MonitorGaps         []monitor.HostGap `json:"monitor_gaps,omitempty"`
 
 	TentEnergyKWh        float64 `json:"tent_energy_kwh"`
 	MeterLastReadingW    float64 `json:"meter_last_reading_w"`
@@ -172,6 +175,8 @@ func SaveResults(w io.Writer, r *Results) error {
 		MonitorRounds:          r.MonitorRounds,
 		MonitorLiteralBytes:    r.MonitorLiteralBytes,
 		MonitorTotalBytes:      r.MonitorTotalBytes,
+		MonitorCoverage:        r.MonitorCoverage,
+		MonitorGaps:            r.MonitorGaps,
 		TentEnergyKWh:          float64(r.TentEnergy),
 		MeterLastReadingW:      float64(r.MeterLastReading),
 		SMARTLongTestsPassed:   r.SMARTLongTestsPassed,
@@ -250,6 +255,8 @@ func LoadResults(rd io.Reader) (*Results, error) {
 		MonitorRounds:          d.MonitorRounds,
 		MonitorLiteralBytes:    d.MonitorLiteralBytes,
 		MonitorTotalBytes:      d.MonitorTotalBytes,
+		MonitorCoverage:        d.MonitorCoverage,
+		MonitorGaps:            d.MonitorGaps,
 		TentEnergy:             units.KilowattHours(d.TentEnergyKWh),
 		MeterLastReading:       units.Watts(d.MeterLastReadingW),
 		SMARTLongTestsPassed:   d.SMARTLongTestsPassed,

@@ -32,6 +32,18 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if back.TotalCycles != r.TotalCycles || back.MonitorRounds != r.MonitorRounds {
 		t.Error("counters differ")
 	}
+	if back.MonitorCoverage != r.MonitorCoverage {
+		t.Error("monitor coverage differs")
+	}
+	if len(back.MonitorGaps) != len(r.MonitorGaps) {
+		t.Fatalf("gaps %d vs %d", len(back.MonitorGaps), len(r.MonitorGaps))
+	}
+	for i, hg := range r.MonitorGaps {
+		bg := back.MonitorGaps[i]
+		if bg.HostID != hg.HostID || bg.Collected != hg.Collected || bg.Missed != hg.Missed {
+			t.Errorf("gap %d differs: %+v vs %+v", i, bg, hg)
+		}
+	}
 	if back.TentHostFailureRate != r.TentHostFailureRate ||
 		back.InitialHostFailureRate != r.InitialHostFailureRate {
 		t.Error("rates differ")

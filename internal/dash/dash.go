@@ -11,6 +11,7 @@
 //	GET /healthz             liveness probe
 //	GET /api/hosts           JSON host list
 //	GET /api/rounds          JSON collection-round history
+//	GET /api/gaps            JSON per-host gap accounting (with a ledger)
 //	GET /api/ledger/{host}   JSON parsed md5sum ledger for one host
 //	GET /logs/{host}/{file}  raw mirrored log content
 package dash
@@ -33,6 +34,10 @@ type Server struct {
 	// itself learns hosts lazily, so the roster comes from the caller.
 	hosts []string
 	start time.Time
+	// gaps, when set, adds coverage accounting to the overview and the
+	// /api/gaps endpoint. The ledger is internally locked, so it can keep
+	// filling while the dashboard serves.
+	gaps *monitor.GapLedger
 }
 
 // NewServer returns a dashboard over the collector for the given roster.
@@ -42,6 +47,12 @@ func NewServer(coll *monitor.Collector, hosts []string, start time.Time) *Server
 	return &Server{coll: coll, hosts: sorted, start: start}
 }
 
+// WithLedger attaches a gap ledger to the dashboard and returns it.
+func (s *Server) WithLedger(g *monitor.GapLedger) *Server {
+	s.gaps = g
+	return s
+}
+
 // Handler returns the dashboard's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -49,6 +60,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /api/hosts", s.handleHosts)
 	mux.HandleFunc("GET /api/rounds", s.handleRounds)
+	mux.HandleFunc("GET /api/gaps", s.handleGaps)
 	mux.HandleFunc("GET /api/ledger/{host}", s.handleLedger)
 	mux.HandleFunc("GET /logs/{host}/{file}", s.handleLog)
 	return mux
@@ -72,6 +84,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if total > 0 {
 		fmt.Fprintf(w, "delta transfer: %d literal bytes of %d corpus (%.1f%% saved)\n",
 			literal, total, (1-float64(literal)/float64(total))*100)
+	}
+	if s.gaps != nil && s.gaps.Rounds() > 0 {
+		fmt.Fprintf(w, "fleet coverage: %.4f over %d rounds\n", s.gaps.Coverage(), s.gaps.Rounds())
 	}
 	fmt.Fprintf(w, "\n%-6s %10s %8s %8s  %s\n", "host", "md5 OK", "bad", "errors", "last cycle")
 	for _, id := range s.hosts {
@@ -102,6 +117,18 @@ func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.coll.History())
+}
+
+func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
+	if s.gaps == nil {
+		http.Error(w, "no gap ledger", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		Rounds   int               `json:"rounds"`
+		Coverage float64           `json:"coverage"`
+		Hosts    []monitor.HostGap `json:"hosts"`
+	}{s.gaps.Rounds(), s.gaps.Coverage(), s.gaps.Hosts()})
 }
 
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {

@@ -147,3 +147,44 @@ func TestMethodAndPathRestrictions(t *testing.T) {
 		t.Errorf("unknown path status %d", code)
 	}
 }
+
+func TestAPIGaps(t *testing.T) {
+	// Without a ledger the endpoint is absent.
+	srv, _ := seededServer(t)
+	if code, _ := get(t, srv.URL+"/api/gaps"); code != http.StatusNotFound {
+		t.Errorf("gaps without ledger status %d, want 404", code)
+	}
+
+	// With one, it serves the per-host accounting and the overview gains a
+	// coverage line.
+	coll := monitor.NewCollector(0)
+	g := monitor.NewGapLedger()
+	g.Record(monitor.RoundReport{Round: 1, Hosts: []monitor.HostOutcome{
+		{HostID: "01", Status: monitor.StatusOK},
+		{HostID: "02", Status: monitor.StatusFailed, Err: "host offline"},
+	}})
+	srv2 := httptest.NewServer(NewServer(coll, []string{"01", "02"}, t0).WithLedger(g).Handler())
+	t.Cleanup(srv2.Close)
+
+	code, body := get(t, srv2.URL+"/api/gaps")
+	if code != http.StatusOK {
+		t.Fatalf("gaps status %d", code)
+	}
+	var out struct {
+		Rounds   int               `json:"rounds"`
+		Coverage float64           `json:"coverage"`
+		Hosts    []monitor.HostGap `json:"hosts"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Rounds != 1 || out.Coverage != 0.5 || len(out.Hosts) != 2 {
+		t.Errorf("gaps = %+v", out)
+	}
+	if out.Hosts[1].HostID != "02" || out.Hosts[1].Missed != 1 {
+		t.Errorf("host 02 gap = %+v", out.Hosts[1])
+	}
+	if _, idx := get(t, srv2.URL+"/"); !strings.Contains(idx, "fleet coverage: 0.5000") {
+		t.Errorf("index missing coverage line:\n%s", idx)
+	}
+}

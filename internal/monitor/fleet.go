@@ -1,0 +1,352 @@
+package monitor
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"frostlab/internal/wire"
+)
+
+// DialFunc opens a transport to one host for one collection attempt.
+// Round and attempt are 1-based; they exist so deterministic dialers (and
+// the chaos injector wrapping them) can key their behaviour to the exact
+// attempt being made.
+type DialFunc func(ctx context.Context, hostID string, round, attempt int) (net.Conn, error)
+
+// FleetConfig configures a FleetCollector.
+type FleetConfig struct {
+	// Hosts is the fleet roster. It is copied and sorted at construction;
+	// reports list hosts in sorted order.
+	Hosts []string
+	// Dial opens the transport to a host.
+	Dial DialFunc
+	// KeyFor resolves a host's pre-shared key.
+	KeyFor func(hostID string) ([]byte, error)
+	// NonceFor supplies the collector-side handshake nonce for an attempt.
+	// nil uses crypto/rand (production); deterministic runs pass
+	// wire.CounterNonce-backed nonces keyed to (host, round, attempt).
+	NonceFor func(hostID string, round, attempt int) wire.Nonce
+
+	// Retry bounds per-host attempts within a round.
+	Retry RetryPolicy
+	// Breaker configures the per-host circuit breakers.
+	Breaker BreakerConfig
+
+	// PhaseTimeout is the per-read/-write deadline set on the connection
+	// before every I/O operation, so one stalled agent can never wedge a
+	// round (the §4.2.1 failure the seed collector had). 0 disables.
+	PhaseTimeout time.Duration
+	// RoundTimeout bounds one whole round; when it expires, in-flight
+	// connections are torn down and remaining attempts abandoned. 0
+	// disables.
+	RoundTimeout time.Duration
+
+	// Jitter supplies the backoff jitter draw in [0,1) for an attempt.
+	// nil uses DeterministicJitter("").
+	Jitter func(hostID string, round, attempt int) float64
+	// Sleep pauses between attempts. nil sleeps on the real clock,
+	// honouring ctx; deterministic tests inject a recorder that returns
+	// immediately.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	// Concurrency caps hosts collected in parallel (0 = all at once).
+	Concurrency int
+}
+
+// FleetCollector drives collection rounds across a fleet with bounded
+// retries, per-host circuit breakers, deadlines, and gap accounting. It
+// wraps a Collector (which owns the mirrors and transfer statistics) and
+// adds the reliability layer the paper's monitoring host lacked.
+//
+// Round must not be called concurrently with itself; within a round, hosts
+// are collected in parallel.
+type FleetCollector struct {
+	cfg      FleetConfig
+	coll     *Collector
+	breakers map[string]*Breaker
+	ledger   *GapLedger
+
+	mu      sync.Mutex
+	reports []RoundReport
+	round   int
+}
+
+// NewFleetCollector validates the configuration and returns a collector
+// with closed breakers and an empty gap ledger.
+func NewFleetCollector(coll *Collector, cfg FleetConfig) (*FleetCollector, error) {
+	if coll == nil {
+		return nil, fmt.Errorf("monitor: nil Collector")
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("monitor: fleet has no hosts")
+	}
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("monitor: FleetConfig.Dial is required")
+	}
+	if cfg.KeyFor == nil {
+		return nil, fmt.Errorf("monitor: FleetConfig.KeyFor is required")
+	}
+	cfg.Hosts = append([]string(nil), cfg.Hosts...)
+	sort.Strings(cfg.Hosts)
+	if cfg.Jitter == nil {
+		cfg.Jitter = DeterministicJitter("")
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepCtx
+	}
+	fc := &FleetCollector{
+		cfg:      cfg,
+		coll:     coll,
+		breakers: make(map[string]*Breaker, len(cfg.Hosts)),
+		ledger:   NewGapLedger(),
+	}
+	for _, h := range cfg.Hosts {
+		fc.breakers[h] = NewBreaker(cfg.Breaker)
+	}
+	return fc, nil
+}
+
+// Collector returns the wrapped mirror-owning collector.
+func (fc *FleetCollector) Collector() *Collector { return fc.coll }
+
+// Ledger returns the gap ledger.
+func (fc *FleetCollector) Ledger() *GapLedger { return fc.ledger }
+
+// Reports returns all completed round reports.
+func (fc *FleetCollector) Reports() []RoundReport {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	out := make([]RoundReport, len(fc.reports))
+	copy(out, fc.reports)
+	return out
+}
+
+// BreakerState reports one host's breaker position.
+func (fc *FleetCollector) BreakerState(hostID string) BreakerState {
+	if b, ok := fc.breakers[hostID]; ok {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// Round runs one collection round over the whole fleet and returns its
+// report. Hosts proceed in parallel; each host's outcome is independent of
+// the others, so reports are deterministic under deterministic dialers
+// regardless of goroutine interleaving.
+func (fc *FleetCollector) Round(ctx context.Context, now time.Time) RoundReport {
+	fc.round++
+	round := fc.round
+	if fc.cfg.RoundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, fc.cfg.RoundTimeout)
+		defer cancel()
+	}
+	conc := fc.cfg.Concurrency
+	if conc <= 0 || conc > len(fc.cfg.Hosts) {
+		conc = len(fc.cfg.Hosts)
+	}
+	sem := make(chan struct{}, conc)
+	outcomes := make([]HostOutcome, len(fc.cfg.Hosts))
+	var wg sync.WaitGroup
+	for i, h := range fc.cfg.Hosts {
+		wg.Add(1)
+		go func(i int, h string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = fc.collectHost(ctx, h, round, now)
+		}(i, h)
+	}
+	wg.Wait()
+	rep := RoundReport{Round: round, At: now, Hosts: outcomes}
+	fc.ledger.Record(rep)
+	fc.mu.Lock()
+	fc.reports = append(fc.reports, rep)
+	fc.mu.Unlock()
+	return rep
+}
+
+// collectHost runs one host's round: breaker gate, then up to MaxAttempts
+// tries with backoff between them.
+func (fc *FleetCollector) collectHost(ctx context.Context, hostID string, round int, now time.Time) HostOutcome {
+	out := HostOutcome{HostID: hostID}
+	br := fc.breakers[hostID]
+	allow, probe := br.Gate()
+	if !allow {
+		out.Status = StatusSkipped
+		out.Err = "breaker open"
+		out.Breaker = br.State().String()
+		return out
+	}
+	maxAttempts := fc.cfg.Retry.attempts()
+	if probe {
+		maxAttempts = 1
+	}
+	var lastErr error
+	attempts := 0
+	for a := 1; a <= maxAttempts; a++ {
+		if a > 1 {
+			pause := fc.cfg.Retry.Backoff(a-1, fc.cfg.Jitter(hostID, round, a))
+			if err := fc.cfg.Sleep(ctx, pause); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		attempts = a
+		stats, err := fc.attempt(ctx, hostID, round, a, now)
+		if err == nil {
+			br.OnSuccess()
+			out.Status = StatusOK
+			out.Attempts = a
+			out.Breaker = br.State().String()
+			out.Files = stats.Files
+			out.LiteralBytes = stats.LiteralBytes
+			out.TotalBytes = stats.TotalBytes
+			return out
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	br.OnFailure()
+	out.Status = StatusFailed
+	out.Attempts = attempts
+	if lastErr != nil {
+		out.Err = lastErr.Error()
+	}
+	out.Breaker = br.State().String()
+	return out
+}
+
+// attempt performs one dial-handshake-collect try against a host.
+func (fc *FleetCollector) attempt(ctx context.Context, hostID string, round, attempt int, now time.Time) (RoundStats, error) {
+	if err := ctx.Err(); err != nil {
+		return RoundStats{}, err
+	}
+	conn, err := fc.cfg.Dial(ctx, hostID, round, attempt)
+	if err != nil {
+		return RoundStats{}, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+
+	// Watchdog: context cancellation (round timeout, shutdown signal)
+	// closes the connection, unblocking any in-flight read or write.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	rw := &phaseConn{Conn: conn, timeout: fc.cfg.PhaseTimeout}
+	psk, err := fc.cfg.KeyFor(hostID)
+	if err != nil {
+		return RoundStats{}, err
+	}
+	nonce := wire.Nonce(randNonce)
+	if fc.cfg.NonceFor != nil {
+		nonce = fc.cfg.NonceFor(hostID, round, attempt)
+	}
+	sess, err := wire.Dial(rw, hostID, psk, nonce)
+	if err != nil {
+		return RoundStats{}, fmt.Errorf("handshake: %w", err)
+	}
+	stats, err := fc.coll.CollectHostContext(ctx, sess, hostID, now)
+	if err != nil {
+		return stats, fmt.Errorf("collect: %w", err)
+	}
+	return stats, nil
+}
+
+// phaseConn arms a fresh deadline before every read and write, so each
+// protocol phase — not just the dial — is individually bounded. This is
+// the fix for the seed collector's unbounded-stall hang.
+type phaseConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (p *phaseConn) Read(b []byte) (int, error) {
+	if p.timeout > 0 {
+		if err := p.Conn.SetReadDeadline(time.Now().Add(p.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return p.Conn.Read(b)
+}
+
+func (p *phaseConn) Write(b []byte) (int, error) {
+	if p.timeout > 0 {
+		if err := p.Conn.SetWriteDeadline(time.Now().Add(p.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return p.Conn.Write(b)
+}
+
+// sleepCtx is the production Sleep: a real timer that aborts on ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// randNonce is the production crypto/rand-backed wire.Nonce.
+func randNonce() ([]byte, error) {
+	b := make([]byte, wire.NonceSize)
+	_, err := rand.Read(b)
+	return b, err
+}
+
+// InProcessDialer serves dials from in-memory agents over net.Pipe: the
+// exact protocol path cmd/collectord runs over TCP, with one agent
+// goroutine per connection and handshake nonces derived deterministically
+// from nonceSeed and the (host, round, attempt) being dialled. The chaos
+// injector wraps this dialer to run monitoring-outage studies in-process.
+func InProcessDialer(agents map[string]*Agent, keys wire.Keystore, nonceSeed string) DialFunc {
+	return func(ctx context.Context, hostID string, round, attempt int) (net.Conn, error) {
+		agent, ok := agents[hostID]
+		if !ok {
+			return nil, fmt.Errorf("monitor: no in-process agent %q", hostID)
+		}
+		a, c := net.Pipe()
+		go func() {
+			defer a.Close()
+			label := fmt.Sprintf("%s/%s/r%d/a%d/agent", nonceSeed, hostID, round, attempt)
+			sess, err := wire.Accept(a, keys, wire.CounterNonce(label))
+			if err != nil {
+				return
+			}
+			_ = agent.Serve(sess)
+		}()
+		return c, nil
+	}
+}
+
+// InProcessNonces is the collector-side counterpart of InProcessDialer's
+// agent nonces: deterministic per-attempt handshake nonces for replayable
+// chaos runs.
+func InProcessNonces(nonceSeed string) func(hostID string, round, attempt int) wire.Nonce {
+	return func(hostID string, round, attempt int) wire.Nonce {
+		return wire.CounterNonce(fmt.Sprintf("%s/%s/r%d/a%d/coll", nonceSeed, hostID, round, attempt))
+	}
+}

@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HostStatus classifies one host's outcome in one collection round.
+type HostStatus string
+
+// Host round outcomes.
+const (
+	// StatusOK: the host's logs were mirrored this round.
+	StatusOK HostStatus = "ok"
+	// StatusFailed: every attempt failed; the round's data is a gap until
+	// a later round catches up (append-only logs make gaps recoverable in
+	// content but not in timeliness).
+	StatusFailed HostStatus = "failed"
+	// StatusSkipped: the host's circuit breaker was open; no dial was made.
+	StatusSkipped HostStatus = "skipped"
+)
+
+// HostOutcome is one host's result in one round.
+type HostOutcome struct {
+	HostID   string     `json:"host"`
+	Status   HostStatus `json:"status"`
+	Attempts int        `json:"attempts"`
+	// Breaker is the breaker's state after the round.
+	Breaker string `json:"breaker,omitempty"`
+	// Err is the last attempt's error (failed rounds only).
+	Err string `json:"err,omitempty"`
+	// Transfer accounting, mirrored from RoundStats on success.
+	Files        int `json:"files,omitempty"`
+	LiteralBytes int `json:"literal_bytes,omitempty"`
+	TotalBytes   int `json:"total_bytes,omitempty"`
+}
+
+// RoundReport is the complete record of one collection round: exactly one
+// outcome per fleet host, in sorted host order. The §4.2.1 incidents the
+// paper could only reconstruct from missing lines in its series are
+// first-class records here.
+type RoundReport struct {
+	Round int           `json:"round"`
+	At    time.Time     `json:"at"`
+	Hosts []HostOutcome `json:"hosts"`
+}
+
+// Collected counts hosts mirrored this round.
+func (r RoundReport) Collected() int {
+	n := 0
+	for _, h := range r.Hosts {
+		if h.Status == StatusOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage is the fraction of hosts mirrored this round.
+func (r RoundReport) Coverage() float64 {
+	if len(r.Hosts) == 0 {
+		return 0
+	}
+	return float64(r.Collected()) / float64(len(r.Hosts))
+}
+
+// maxRecordedMissedRounds caps the per-host list of missed round numbers a
+// HostGap carries; the Missed counter itself is never truncated.
+const maxRecordedMissedRounds = 256
+
+// HostGap is one host's gap accounting, maintained by a GapLedger. Rounds
+// are counted from the host's first appearance in a report, so a host
+// installed late is not charged for rounds before it existed.
+type HostGap struct {
+	HostID string `json:"host"`
+	// Collected and Missed partition the host's rounds; Missed includes
+	// breaker-skipped rounds (no data arrived either way).
+	Collected int `json:"collected"`
+	Missed    int `json:"missed"`
+	// Skipped counts the subset of Missed where the breaker saved a dial.
+	Skipped int `json:"skipped,omitempty"`
+	// LongestOutage is the longest run of consecutive missed rounds.
+	LongestOutage int `json:"longest_outage,omitempty"`
+	// MissedRounds lists the first maxRecordedMissedRounds missed round
+	// numbers, for outage forensics.
+	MissedRounds []int `json:"missed_rounds,omitempty"`
+
+	outage int // current consecutive missed streak
+}
+
+// Rounds is the host's total accounted rounds.
+func (hg HostGap) Rounds() int { return hg.Collected + hg.Missed }
+
+// Coverage is the fraction of the host's rounds that produced data.
+func (hg HostGap) Coverage() float64 {
+	if hg.Rounds() == 0 {
+		return 0
+	}
+	return float64(hg.Collected) / float64(hg.Rounds())
+}
+
+// GapLedger accumulates RoundReports into per-host coverage accounting:
+// what fraction of host-rounds produced data, where the outages were, and
+// how long the worst one lasted. It is the collector-side record of the
+// gaps the paper's analysis had to work around (§4.2.1).
+type GapLedger struct {
+	mu     sync.Mutex
+	rounds int
+	hosts  map[string]*HostGap
+	order  []string // sorted host IDs
+}
+
+// NewGapLedger returns an empty ledger.
+func NewGapLedger() *GapLedger {
+	return &GapLedger{hosts: make(map[string]*HostGap)}
+}
+
+// Record folds one round's outcomes into the ledger.
+func (g *GapLedger) Record(rep RoundReport) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rounds++
+	for _, h := range rep.Hosts {
+		hg, ok := g.hosts[h.HostID]
+		if !ok {
+			hg = &HostGap{HostID: h.HostID}
+			g.hosts[h.HostID] = hg
+			i := sort.SearchStrings(g.order, h.HostID)
+			g.order = append(g.order, "")
+			copy(g.order[i+1:], g.order[i:])
+			g.order[i] = h.HostID
+		}
+		if h.Status == StatusOK {
+			hg.Collected++
+			hg.outage = 0
+			continue
+		}
+		hg.Missed++
+		if h.Status == StatusSkipped {
+			hg.Skipped++
+		}
+		hg.outage++
+		if hg.outage > hg.LongestOutage {
+			hg.LongestOutage = hg.outage
+		}
+		if len(hg.MissedRounds) < maxRecordedMissedRounds {
+			hg.MissedRounds = append(hg.MissedRounds, rep.Round)
+		}
+	}
+}
+
+// Rounds is the number of recorded rounds.
+func (g *GapLedger) Rounds() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rounds
+}
+
+// Hosts returns the per-host gap accounting, sorted by host ID.
+func (g *GapLedger) Hosts() []HostGap {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]HostGap, 0, len(g.order))
+	for _, id := range g.order {
+		hg := *g.hosts[id]
+		hg.MissedRounds = append([]int(nil), hg.MissedRounds...)
+		out = append(out, hg)
+	}
+	return out
+}
+
+// Coverage is the fleet-wide fraction of host-rounds that produced data.
+func (g *GapLedger) Coverage() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var collected, total int
+	for _, hg := range g.hosts {
+		collected += hg.Collected
+		total += hg.Collected + hg.Missed
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(collected) / float64(total)
+}
+
+// String renders the ledger deterministically — the byte-identical replay
+// tests compare this rendering across chaos runs.
+func (g *GapLedger) String() string {
+	hosts := g.Hosts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "gap ledger: %d rounds, fleet coverage %.4f\n", g.Rounds(), g.Coverage())
+	for _, hg := range hosts {
+		fmt.Fprintf(&b, "  %s: %d/%d collected (%.4f), %d skipped, longest outage %d, missed %v\n",
+			hg.HostID, hg.Collected, hg.Rounds(), hg.Coverage(), hg.Skipped, hg.LongestOutage, hg.MissedRounds)
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -252,7 +253,19 @@ func (c *Collector) History() []RoundStats {
 // list the agent's files, then signature/delta each one into the mirror.
 // The session is left open; the agent returns from Serve after the bye.
 func (c *Collector) CollectHost(sess *wire.Session, hostID string, now time.Time) (RoundStats, error) {
+	return c.CollectHostContext(context.Background(), sess, hostID, now)
+}
+
+// CollectHostContext is CollectHost under a context: cancellation is
+// polled between protocol phases, so a round abandoned by its deadline (or
+// a daemon shutting down) stops at the next frame boundary. A session
+// blocked inside a read is unblocked by the transport's deadline or by
+// closing the underlying connection — both of which FleetCollector does.
+func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, hostID string, now time.Time) (RoundStats, error) {
 	stats := RoundStats{HostID: hostID, At: now}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	mirror := c.Mirror(hostID)
 	if err := sess.Send(ftList, nil); err != nil {
 		return stats, err
@@ -272,6 +285,9 @@ func (c *Collector) CollectHost(sess *wire.Session, hostID string, now time.Time
 		names = splitLines(string(payload))
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		old := mirror.Get(name)
 		sig, err := delta.NewSignature(old, c.blockSize)
 		if err != nil {

@@ -341,6 +341,37 @@ func TableMonitoring(r *core.Results) string {
 		Table([]string{"quantity", "value"}, rows)
 }
 
+// TableCoverage renders the gap ledger: which fraction of host-rounds the
+// collector actually mirrored, and where the outages were. The paper's
+// §4.2.1 incidents appear here as explicit per-host gaps instead of
+// silent holes in the series.
+func TableCoverage(r *core.Results) string {
+	if len(r.MonitorGaps) == 0 {
+		return "Collection coverage: no gap ledger recorded in this run\n"
+	}
+	rows := make([][]string, 0, len(r.MonitorGaps))
+	for _, hg := range r.MonitorGaps {
+		missed := "—"
+		if len(hg.MissedRounds) > 0 {
+			missed = fmt.Sprintf("%v", hg.MissedRounds)
+			if hg.Missed > len(hg.MissedRounds) {
+				missed += " …"
+			}
+		}
+		rows = append(rows, []string{
+			hg.HostID,
+			fmt.Sprintf("%d/%d", hg.Collected, hg.Rounds()),
+			fmt.Sprintf("%.4f", hg.Coverage()),
+			fmt.Sprintf("%d", hg.Skipped),
+			fmt.Sprintf("%d", hg.LongestOutage),
+			missed,
+		})
+	}
+	return fmt.Sprintf("Collection coverage (fleet %.4f over %d rounds)\n\n",
+		r.MonitorCoverage, r.MonitorRounds) +
+		Table([]string{"host", "collected", "coverage", "skipped", "longest outage", "missed rounds"}, rows)
+}
+
 // EventLog renders the full experiment event log.
 func EventLog(r *core.Results) string {
 	var rows [][]string

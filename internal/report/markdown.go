@@ -55,6 +55,9 @@ func Markdown(r *core.Results) (string, error) {
 	if r.MonitorRounds > 0 {
 		fenced("Monitoring plane (§3.5)", TableMonitoring(r))
 	}
+	if len(r.MonitorGaps) > 0 {
+		fenced("Collection coverage", TableCoverage(r))
+	}
 	pue, err := TablePUE()
 	if err != nil {
 		return "", err

@@ -238,6 +238,14 @@ func TestTables(t *testing.T) {
 	if !strings.Contains(mon, "rsync") || !strings.Contains(mon, "%") {
 		t.Errorf("monitoring table malformed:\n%s", mon)
 	}
+	cov := TableCoverage(r)
+	if !strings.Contains(cov, "Collection coverage") || !strings.Contains(cov, "longest outage") {
+		t.Errorf("coverage table malformed:\n%s", cov)
+	}
+	empty := TableCoverage(&core.Results{})
+	if !strings.Contains(empty, "no gap ledger") {
+		t.Errorf("empty coverage table malformed:\n%s", empty)
+	}
 	ev := EventLog(r)
 	if !strings.Contains(ev, "install") {
 		t.Error("event log missing installs")
