@@ -22,6 +22,7 @@ import (
 	"frostlab/internal/core"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/weather"
 )
 
@@ -76,6 +77,37 @@ func BenchmarkReferenceRun(b *testing.B) {
 		}
 		if _, err := exp.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceRunInstrumented is the telemetry-overhead benchmark:
+// the identical reference run with a live metrics registry and a span
+// tracer attached, plus one end-of-run scrape. The committed contract is
+// that this stays within 5% of BenchmarkReferenceRun — the instruments
+// are scrape-time views over counters the experiment already maintains,
+// so the hot path gains no allocations (see core.TestFailureTickAllocs).
+func BenchmarkReferenceRunInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(core.ReferenceSeed)
+		cfg.MonitorEvery = 0
+		exp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		exp.InstrumentTelemetry(reg)
+		exp.WithTracer(telemetry.NewTracer(telemetry.DefaultTraceCapacity))
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logOnce(b, "instrumented", firstLines(sb.String(), 4)+
+				fmt.Sprintf("\n… %d trace events recorded", exp.Tracer().Len()))
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 
 	"frostlab/internal/campaign"
 	"frostlab/internal/report"
+	"frostlab/internal/telemetry"
 )
 
 func main() {
@@ -54,6 +56,7 @@ func run() error {
 	verbose := flag.Bool("v", false, "print one line per finished replicate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address while the campaign runs")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -94,6 +97,16 @@ func run() error {
 	var err error
 	if spec.Sweep, err = parseSweep(*climates, *fleets, *monitors, *mods); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		spec.Metrics = campaign.NewMetrics(reg)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: debug listener:", err)
+			}
+		}()
+		fmt.Printf("telemetry + pprof on http://%s/\n", *debugAddr)
 	}
 	if *verbose {
 		spec.Progress = func(done, total int, rs campaign.RunSummary) {

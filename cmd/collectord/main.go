@@ -18,6 +18,11 @@
 //	           [-keyseed winter0910] [-every 20m] [-rounds 0] [-dir mirror/]
 //	           [-timeout 10s] [-round-timeout 5m] [-retries 3] [-backoff 2s]
 //	           [-breaker-trip 3] [-breaker-cooldown 3] [-http 127.0.0.1:8080]
+//	           [-debug-addr 127.0.0.1:6060]
+//
+// The dashboard (-http) serves /metrics and /buildinfo alongside the
+// status endpoints; -debug-addr opens a second listener with /metrics,
+// /healthz, /buildinfo, and net/http/pprof for live profiling.
 //
 // Keys are derived as SHA-256(keyseed/psk/<hostID>) and must match the
 // node agents' -keyseed.
@@ -39,6 +44,7 @@ import (
 
 	"frostlab/internal/dash"
 	"frostlab/internal/monitor"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/wire"
 )
 
@@ -69,6 +75,7 @@ func run() error {
 	backoff := flag.Duration("backoff", 2*time.Second, "base retry backoff (doubles per attempt, ±25% jitter)")
 	breakerTrip := flag.Int("breaker-trip", 3, "consecutive failed rounds before a host's breaker opens (0 = disabled)")
 	breakerCooldown := flag.Int("breaker-cooldown", 3, "rounds an open breaker skips before a half-open probe")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address")
 	flag.Parse()
 
 	if *hostsFlag == "" {
@@ -127,15 +134,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := telemetry.NewRegistry()
+	fc.Instrument(reg)
 
 	if *httpAddr != "" {
-		srv := dash.NewServer(coll, ids, time.Now()).WithLedger(fc.Ledger())
+		srv := dash.NewServer(coll, ids, time.Now()).WithLedger(fc.Ledger()).WithTelemetry(reg)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
 				fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
 			}
 		}()
 		fmt.Printf("status dashboard on http://%s/\n", *httpAddr)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("telemetry + pprof on http://%s/\n", *debugAddr)
 	}
 
 	for round := 1; *rounds == 0 || round <= *rounds; round++ {

@@ -10,6 +10,7 @@ import (
 
 	"frostlab/internal/chaos"
 	"frostlab/internal/monitor"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/wire"
 )
 
@@ -79,7 +80,10 @@ func parseSchedule(s string) (map[string][]chaos.RoundRange, error) {
 	return out, nil
 }
 
-func runChaosStudy(seed string, o chaosOpts) error {
+// runChaosStudy drives the E13 study; traceTo, when non-empty, records
+// the collection plane (round and per-host collect spans, wall time) as
+// Chrome trace-event JSON.
+func runChaosStudy(seed string, o chaosOpts, traceTo string) error {
 	down, err := parseSchedule(*o.down)
 	if err != nil {
 		return err
@@ -115,8 +119,13 @@ func runChaosStudy(seed string, o chaosOpts) error {
 		keys[id] = []byte(seed + "/psk/" + id)
 	}
 
+	var tracer *telemetry.Tracer
+	if traceTo != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	}
 	fc, err := monitor.NewFleetCollector(monitor.NewCollector(0), monitor.FleetConfig{
 		Hosts:        ids,
+		Tracer:       tracer,
 		Dial:         inj.WrapDialer(monitor.InProcessDialer(agents, keys, seed)),
 		KeyFor:       keys.Lookup,
 		NonceFor:     monitor.InProcessNonces(seed),
@@ -156,5 +165,11 @@ func runChaosStudy(seed string, o chaosOpts) error {
 		fmt.Printf("round %2d: coverage %.4f%s\n", round, rep.Coverage(), detail)
 	}
 	fmt.Printf("\n%s", fc.Ledger().String())
+	if tracer != nil {
+		if err := writeTrace(traceTo, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("Chrome trace (%d events) written to %s\n", tracer.Len(), traceTo)
+	}
 	return nil
 }

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	frostctl [-seed SEED] [-phase all|prototype|normal|chaos] [-monitor 20m]
-//	         [-days N] [-csv DIR] [-events]
+//	         [-days N] [-csv DIR] [-events] [-trace out.json]
 //
 // With no flags it reproduces the reference run (seed winter0910-r115).
 // -phase chaos runs the E13 monitoring-outage study instead: an in-process
 // fleet collected under seeded fault injection (see -chaos-* flags).
+// -trace records the run as Chrome trace-event JSON — open it in
+// chrome://tracing or https://ui.perfetto.dev to see the experiment
+// timeline: per-host outage spans, install/repair instants, monitoring
+// rounds, and tent-power / coverage counter tracks.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"frostlab/internal/core"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/timeseries"
 	"frostlab/internal/weather"
 )
@@ -43,11 +48,12 @@ func run() error {
 	saveTo := flag.String("save", "", "save the run's results as JSON to this file")
 	loadFrom := flag.String("load", "", "skip the simulation; render a previously saved run")
 	mdTo := flag.String("md", "", "write a complete markdown run report to this file")
+	traceTo := flag.String("trace", "", "write the run as Chrome trace-event JSON to this file")
 	ch := chaosFlags()
 	flag.Parse()
 
 	if *phase == "chaos" {
-		return runChaosStudy(*seed, ch)
+		return runChaosStudy(*seed, ch, *traceTo)
 	}
 
 	if *phase == "all" || *phase == "prototype" {
@@ -87,9 +93,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		var tracer *telemetry.Tracer
+		if *traceTo != "" {
+			tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+			exp.WithTracer(tracer)
+		}
 		r, err = exp.Run()
 		if err != nil {
 			return err
+		}
+		if tracer != nil {
+			if err := writeTrace(*traceTo, tracer); err != nil {
+				return err
+			}
+			fmt.Printf("Chrome trace (%d events, %d dropped) written to %s\n\n",
+				tracer.Len(), tracer.Dropped(), *traceTo)
 		}
 	}
 	if *saveTo != "" {
@@ -161,6 +179,18 @@ func run() error {
 		fmt.Printf("Markdown report written to %s\n", *mdTo)
 	}
 	return nil
+}
+
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSVs(dir string, r *core.Results) error {

@@ -12,8 +12,11 @@
 //
 //	nodeagent -id 01 [-listen 127.0.0.1:7701] [-keyseed winter0910]
 //	          [-cycle 10m] [-cycles 0] [-drain 30s]
+//	          [-debug-addr 127.0.0.1:6061]
 //
 // Keys are derived as SHA-256(keyseed/psk/<id>), matching collectord.
+// -debug-addr opens a telemetry listener serving /metrics (workload and
+// collection counters), /healthz, /buildinfo, and net/http/pprof.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -32,9 +36,43 @@ import (
 
 	"frostlab/internal/monitor"
 	"frostlab/internal/simkernel"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/wire"
 	"frostlab/internal/workload"
 )
+
+// agentMetrics is nodeagent's own instrument plane: unlike the
+// simulation's scrape-time views, these are written from concurrent
+// goroutines (workload loop, acceptor, per-connection servers), so they
+// are the atomic instruments directly.
+type agentMetrics struct {
+	cycles        *telemetry.Counter
+	badCycles     *telemetry.Counter
+	cycleErrors   *telemetry.Counter
+	collections   *telemetry.Counter
+	serveErrors   *telemetry.Counter
+	handshakeErrs *telemetry.Counter
+	inflight      *telemetry.Gauge
+}
+
+func newAgentMetrics(reg *telemetry.Registry) *agentMetrics {
+	return &agentMetrics{
+		cycles: reg.NewCounter("frostlab_agent_cycles_total",
+			"Workload cycles completed (§3.5 tar+compress+md5)."),
+		badCycles: reg.NewCounter("frostlab_agent_bad_cycles_total",
+			"Cycles whose md5sum did not match the reference."),
+		cycleErrors: reg.NewCounter("frostlab_agent_cycle_errors_total",
+			"Cycles that failed to run at all."),
+		collections: reg.NewCounter("frostlab_agent_collections_total",
+			"Collection sessions served to completion."),
+		serveErrors: reg.NewCounter("frostlab_agent_serve_errors_total",
+			"Collection sessions that ended in a protocol error."),
+		handshakeErrs: reg.NewCounter("frostlab_agent_handshake_failures_total",
+			"Inbound connections that failed authentication."),
+		inflight: reg.NewGauge("frostlab_agent_inflight_collections",
+			"Collection sessions currently being served."),
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -62,6 +100,7 @@ func run() error {
 	cycle := flag.Duration("cycle", 10*time.Minute, "workload cycle period (§3.5: 10 minutes)")
 	cycles := flag.Int("cycles", 0, "stop the workload after N cycles (0 = forever)")
 	drain := flag.Duration("drain", 30*time.Second, "max wait for in-flight collections on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address")
 	flag.Parse()
 
 	if *id == "" {
@@ -98,6 +137,17 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	reg := telemetry.NewRegistry()
+	met := newAgentMetrics(reg)
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("telemetry + pprof on http://%s/\n", *debugAddr)
+	}
+
 	// Workload loop: real wall-clock cadence with the paper's 0-119 s
 	// start fuzz, scaled proportionally when a shorter -cycle is chosen.
 	// The loop selects on the signal context so shutdown never waits out
@@ -115,11 +165,14 @@ func run() error {
 			res, err := runner.RunCycle(time.Now(), false)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cycle: %v\n", err)
+				met.cycleErrors.Inc()
 				continue
 			}
+			met.cycles.Inc()
 			status := "OK"
 			if !res.OK {
 				status = "BAD"
+				met.badCycles.Inc()
 			}
 			line := fmt.Sprintf("%s %s %s\n", res.At.UTC().Format(time.RFC3339), status, res.MD5)
 			store.Append(monitor.MD5Log, []byte(line))
@@ -156,14 +209,20 @@ func run() error {
 		go func() {
 			defer inflight.Done()
 			defer conn.Close()
+			met.inflight.Inc()
+			defer met.inflight.Dec()
 			sess, err := wire.Accept(conn, keys, randNonce)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "handshake: %v\n", err)
+				met.handshakeErrs.Inc()
 				return
 			}
 			if err := agent.Serve(sess); err != nil {
 				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				met.serveErrors.Inc()
+				return
 			}
+			met.collections.Inc()
 		}()
 	}
 

@@ -73,6 +73,9 @@ type Spec struct {
 	// Progress, when set, is called after every finished run (including
 	// runs restored from checkpoints) from the collection goroutine.
 	Progress func(done, total int, rs RunSummary)
+	// Metrics, when set, records engine throughput, failures, panics,
+	// and worker utilization; see NewMetrics. nil disables recording.
+	Metrics *Metrics
 }
 
 // Sweep declares the campaign's parameter axes. Empty axes are pinned at

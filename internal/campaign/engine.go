@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"frostlab/internal/core"
 )
@@ -51,6 +52,9 @@ func Run(ctx context.Context, spec Spec) (*Summary, error) {
 		for rep := 0; rep < spec.Reps; rep++ {
 			if rs, ok := spec.loadCheckpoint(pt, rep); ok {
 				sums = append(sums, rs)
+				if spec.Metrics != nil {
+					spec.Metrics.RepsRestored.Inc()
+				}
 				continue
 			}
 			pending = append(pending, job{pt: pt, rep: rep})
@@ -108,9 +112,21 @@ func Run(ctx context.Context, spec Spec) (*Summary, error) {
 // RunSummary instead of killing the campaign.
 func (s *Spec) runOne(ctx context.Context, j job) (rs RunSummary) {
 	rs = RunSummary{Point: j.pt.label, Rep: j.rep, Seed: RepSeed(s.Seed, j.rep)}
+	var wallStart time.Time
+	if s.Metrics != nil {
+		wallStart = time.Now()
+		s.Metrics.WorkersBusy.Inc()
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			rs.Err = fmt.Sprintf("panic: %v", p)
+			if s.Metrics != nil {
+				s.Metrics.Panics.Inc()
+			}
+		}
+		if s.Metrics != nil {
+			s.Metrics.WorkersBusy.Dec()
+			s.Metrics.observeOutcome(rs, time.Since(wallStart))
 		}
 	}()
 	cfg, err := s.config(j.pt, j.rep)

@@ -1,0 +1,58 @@
+package campaign
+
+import (
+	"time"
+
+	"frostlab/internal/telemetry"
+)
+
+// Metrics is the campaign engine's instrument set. Attach one to
+// Spec.Metrics (usually via NewMetrics) to watch a long campaign from
+// a /metrics scrape: replicate throughput, failures, panics caught by
+// the isolation recover, worker-pool utilization, and the per-replicate
+// wall-time distribution. A nil Metrics costs nothing.
+type Metrics struct {
+	RepsCompleted telemetry.Counter // replicates finished successfully
+	RepsFailed    telemetry.Counter // replicates that returned an error
+	Panics        telemetry.Counter // replicates that panicked (subset of failed)
+	RepsRestored  telemetry.Counter // replicates restored from checkpoints
+	WorkersBusy   telemetry.Gauge   // workers currently inside runOne
+	RepDuration   *telemetry.Histogram
+}
+
+// NewMetrics registers a campaign instrument set on reg and returns it.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{
+		RepDuration: reg.NewHistogram("frostlab_campaign_rep_duration_seconds",
+			"Wall-clock duration of one replicate simulation.",
+			telemetry.ExponentialBuckets(0.01, 2, 14)),
+	}
+	counter := func(name, help string, c *telemetry.Counter) {
+		reg.CounterFunc(name, help, func() float64 { return float64(c.Value()) })
+	}
+	counter("frostlab_campaign_reps_completed_total",
+		"Replicates that finished and summarized successfully.", &m.RepsCompleted)
+	counter("frostlab_campaign_reps_failed_total",
+		"Replicates that ended in an error (panics included).", &m.RepsFailed)
+	counter("frostlab_campaign_panics_total",
+		"Replicates that panicked and were isolated by the engine.", &m.Panics)
+	counter("frostlab_campaign_reps_restored_total",
+		"Replicates restored from checkpoint files instead of re-run.", &m.RepsRestored)
+	reg.GaugeFunc("frostlab_campaign_workers_busy",
+		"Workers currently executing a replicate.",
+		m.WorkersBusy.Value)
+	return m
+}
+
+// observeOutcome folds one finished replicate into the counters.
+func (m *Metrics) observeOutcome(rs RunSummary, wallDur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.RepDuration.Observe(wallDur.Seconds())
+	if rs.Err != "" {
+		m.RepsFailed.Inc()
+		return
+	}
+	m.RepsCompleted.Inc()
+}

@@ -1,0 +1,58 @@
+package campaign_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"frostlab/internal/campaign"
+	"frostlab/internal/core"
+	"frostlab/internal/telemetry"
+)
+
+// TestCampaignMetrics runs a small campaign with one deliberately
+// panicking replicate and checks the scraped engine counters.
+func TestCampaignMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	spec := fastSpec("metrics", 4, 2)
+	spec.Metrics = campaign.NewMetrics(reg)
+	spec.Mutate = func(rep int, cfg *core.Config) {
+		if rep == 2 {
+			panic("injected replicate panic")
+		}
+	}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 3 || sum.Failed != 1 {
+		t.Fatalf("summary completed/failed = %d/%d, want 3/1", sum.Completed, sum.Failed)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(b.String())
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v\n%s", err, b.String())
+	}
+	want := map[string]float64{
+		"frostlab_campaign_reps_completed_total":       3,
+		"frostlab_campaign_reps_failed_total":          1,
+		"frostlab_campaign_panics_total":               1,
+		"frostlab_campaign_reps_restored_total":        0,
+		"frostlab_campaign_workers_busy":               0, // all workers drained
+		"frostlab_campaign_rep_duration_seconds_count": 4,
+	}
+	for name, v := range want {
+		s, ok := telemetry.FindSample(samples, name)
+		if !ok {
+			t.Errorf("%s: no sample", name)
+			continue
+		}
+		if s.Value != v {
+			t.Errorf("%s = %v, want %v", name, s.Value, v)
+		}
+	}
+}

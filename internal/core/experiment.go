@@ -13,6 +13,7 @@ import (
 	"frostlab/internal/monitor"
 	"frostlab/internal/sensors"
 	"frostlab/internal/simkernel"
+	"frostlab/internal/telemetry"
 	"frostlab/internal/thermal"
 	"frostlab/internal/timeseries"
 	"frostlab/internal/units"
@@ -61,6 +62,10 @@ type hostState struct {
 	installed bool
 	online    bool
 	relocated bool // taken indoors after repeated failures
+
+	// tid is the host's track id in an attached tracer (0 is the
+	// experiment's own track), assigned in sorted fleet order.
+	tid int
 
 	failedDisks []int
 	storageLost bool
@@ -145,6 +150,12 @@ type Experiment struct {
 	// tsBuf holds the RFC3339 timestamp of the current failure tick,
 	// formatted once per tick and shared by every host's sensor line.
 	tsBuf []byte
+
+	// met is the always-on tick accounting (atomic adds on the hot path,
+	// exposed by InstrumentTelemetry); tracer, when attached, records the
+	// simulated timeline as spans and instants (see WithTracer).
+	met    expMetrics
+	tracer *telemetry.Tracer
 }
 
 // New builds an experiment from the configuration: the paper's reference
@@ -221,12 +232,17 @@ func New(cfg Config) (*Experiment, error) {
 		e.order = append(e.order, h.ID)
 	}
 	sort.Strings(e.order)
+	for i, id := range e.order {
+		e.hosts[id].tid = i + 1
+	}
 	return e, nil
 }
 
-// logEvent appends to the experiment log.
+// logEvent appends to the experiment log (and, with a tracer attached,
+// mirrors the event onto the subject's trace track).
 func (e *Experiment) logEvent(at time.Time, kind EventKind, subject, detail string) {
 	e.events = append(e.events, Event{At: at, Kind: kind, Subject: subject, Detail: detail})
+	e.traceEvent(at, kind, subject)
 }
 
 // environment returns the thermal environment a host currently sits in.
@@ -303,6 +319,9 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 			if _, err := e.sched.Periodic(first, cfg.ReadoutEvery, nil, func(now time.Time) {
 				e.lascar.BeginReadout(now.Add(20 * time.Minute))
 				e.logEvent(now, EventReadout, "lascar", "USB readout trip; indoor samples recorded")
+				if e.tracer != nil {
+					e.tracer.Span("lascar-readout", "sensors", 0, now, 20*time.Minute)
+				}
 			}); err != nil {
 				return nil, err
 			}
@@ -316,6 +335,7 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 		fail(e.tent.Step(cfg.EnvStep, out, power))
 		e.meter.Observe(cfg.EnvStep, power)
 		e.basement.Tick(cfg.EnvStep)
+		e.met.weatherTicks.Inc()
 	}); err != nil {
 		return nil, err
 	}
@@ -323,6 +343,10 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 	// Failure sampling, component thermals, sensor logging.
 	if _, err := e.sched.Periodic(cfg.Start.Add(cfg.FailureStep), cfg.FailureStep, nil, func(now time.Time) {
 		fail(e.failureTick(now))
+		e.met.failureTicks.Inc()
+		if e.tracer != nil {
+			e.tracer.Counter("tent_power_watts", now, float64(e.tentW))
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -394,6 +418,9 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 	if err := e.sched.Err(); err != nil {
 		return nil, err
 	}
+	if e.tracer != nil {
+		e.tracer.Span("normal-phase", "phase", 0, cfg.Start, cfg.End.Sub(cfg.Start))
+	}
 	return e.assembleResults()
 }
 
@@ -449,6 +476,7 @@ func (e *Experiment) workloadCycle(now time.Time, hs *hostState) {
 		return
 	}
 	hs.cycles++
+	e.met.workloadCycles.Inc()
 	corrupted := e.engine.CycleCorrupted(hs.host.ID, e.cfg.PagesPerCycle, hs.host.Spec.ECC)
 	if !corrupted {
 		// The healthy line is timestamp + a precomputed " OK <md5>\n" tail,
@@ -466,6 +494,7 @@ func (e *Experiment) workloadCycle(now time.Time, hs *hostState) {
 		return
 	}
 	hs.badHashes = append(hs.badHashes, res)
+	e.met.badHashes.Inc()
 	line := fmt.Sprintf("%s BAD %s (bad blocks %v of %d)\n",
 		now.UTC().Format(time.RFC3339), res.MD5, res.BadBlocks, res.Blocks)
 	hs.store.Append(monitor.MD5Log, []byte(line))
@@ -631,6 +660,11 @@ func (e *Experiment) handleTransient(now time.Time, hs *hostState) {
 	e.logEvent(now, EventTransient, hs.host.ID,
 		fmt.Sprintf("system failure #%d in %s", nth, hs.envName()))
 	after := e.cfg.RepairDelay
+	if e.tracer != nil {
+		// The outage's full extent is known up front: the host stays down
+		// until the scheduled repair (or relocation) fires.
+		e.tracer.Span("outage", "failure", hs.tid, now, after)
+	}
 	if nth == 1 {
 		_, _ = e.sched.At(now.Add(after), func(at time.Time) {
 			hs.online = true
@@ -713,6 +747,7 @@ func (e *Experiment) monitorRound(now time.Time) error {
 				Status: monitor.StatusFailed,
 				Err:    "host offline",
 			})
+			e.met.hostMisses.Inc()
 			continue
 		}
 		stats, err := e.collectHost(now, hs)
@@ -727,12 +762,18 @@ func (e *Experiment) monitorRound(now time.Time) error {
 			LiteralBytes: stats.LiteralBytes,
 			TotalBytes:   stats.TotalBytes,
 		})
+		e.met.hostCollects.Inc()
 	}
 	if len(rep.Hosts) == 0 {
 		return nil
 	}
 	e.monRound++
+	e.met.monitorRounds.Inc()
 	e.gaps.Record(rep)
+	if e.tracer != nil {
+		e.tracer.Instant("monitor-round", "monitor", 0, now)
+		e.tracer.Counter("fleet_coverage", now, rep.Coverage())
+	}
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"frostlab/internal/telemetry"
 )
 
 // TestFailureTickAllocs is the hot-path allocation regression test for the
@@ -12,12 +14,26 @@ import (
 // failureTick host iteration averages well under one allocation (the
 // residue is amortized log/timeseries growth; the pre-PR code spent four to
 // five allocations per host on formatting alone).
+//
+// The instrumented subtest re-runs the same measurement with a metrics
+// registry and a span tracer attached: the telemetry counters are
+// uncontended atomic adds and the tracer writes into a preallocated
+// ring, so instrumentation must not move the allocation budget.
 func TestFailureTickAllocs(t *testing.T) {
+	t.Run("bare", func(t *testing.T) { testFailureTickAllocs(t, false) })
+	t.Run("instrumented", func(t *testing.T) { testFailureTickAllocs(t, true) })
+}
+
+func testFailureTickAllocs(t *testing.T, instrumented bool) {
 	cfg := DefaultConfig("alloc-regression")
 	cfg.MonitorEvery = 0
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if instrumented {
+		e.InstrumentTelemetry(telemetry.NewRegistry())
+		e.WithTracer(telemetry.NewTracer(1 << 14))
 	}
 	// Install every host directly; the tick under measurement then walks
 	// the full fleet.

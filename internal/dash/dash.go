@@ -9,11 +9,16 @@
 //
 //	GET /                    plain-text overview
 //	GET /healthz             liveness probe
+//	GET /buildinfo           JSON build/version information
+//	GET /metrics             Prometheus text exposition (with a registry)
 //	GET /api/hosts           JSON host list
 //	GET /api/rounds          JSON collection-round history
 //	GET /api/gaps            JSON per-host gap accounting (with a ledger)
 //	GET /api/ledger/{host}   JSON parsed md5sum ledger for one host
 //	GET /logs/{host}/{file}  raw mirrored log content
+//
+// API errors are JSON bodies of the form {"error": "..."} with the
+// matching status code.
 package dash
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"frostlab/internal/monitor"
+	"frostlab/internal/telemetry"
 )
 
 // Server serves a Collector's state. It performs no writes and holds no
@@ -38,6 +44,8 @@ type Server struct {
 	// /api/gaps endpoint. The ledger is internally locked, so it can keep
 	// filling while the dashboard serves.
 	gaps *monitor.GapLedger
+	// reg, when set, serves the process's metrics registry on /metrics.
+	reg *telemetry.Registry
 }
 
 // NewServer returns a dashboard over the collector for the given roster.
@@ -53,11 +61,22 @@ func (s *Server) WithLedger(g *monitor.GapLedger) *Server {
 	return s
 }
 
+// WithTelemetry attaches a metrics registry, served on /metrics, and
+// returns the server. Without one, /metrics is 404.
+func (s *Server) WithTelemetry(reg *telemetry.Registry) *Server {
+	s.reg = reg
+	return s
+}
+
 // Handler returns the dashboard's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /buildinfo", telemetry.BuildInfoHandler())
+	if s.reg != nil {
+		mux.Handle("GET /metrics", telemetry.MetricsHandler(s.reg))
+	}
 	mux.HandleFunc("GET /api/hosts", s.handleHosts)
 	mux.HandleFunc("GET /api/rounds", s.handleRounds)
 	mux.HandleFunc("GET /api/gaps", s.handleGaps)
@@ -121,7 +140,10 @@ func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
 	if s.gaps == nil {
-		http.Error(w, "no gap ledger", http.StatusNotFound)
+		// Explicit JSON 404: "this deployment has no gap ledger" is an
+		// answer, not a routing miss, and API clients should be able to
+		// decode it like every other /api response.
+		writeJSONError(w, http.StatusNotFound, "no gap ledger attached to this collector")
 		return
 	}
 	writeJSON(w, struct {
@@ -134,12 +156,12 @@ func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	host := r.PathValue("host")
 	if !s.knownHost(host) {
-		http.Error(w, "unknown host", http.StatusNotFound)
+		writeJSONError(w, http.StatusNotFound, "unknown host "+host)
 		return
 	}
 	sum, err := monitor.ParseLedger(s.coll.Mirror(host).Get(monitor.MD5Log))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, sum)
@@ -177,4 +199,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeJSONError sends {"error": msg} with the given status.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"frostlab/internal/monitor"
+	"frostlab/internal/telemetry"
 )
 
 var t0 = time.Date(2010, time.February, 19, 12, 0, 0, 0, time.UTC)
@@ -145,6 +146,86 @@ func TestMethodAndPathRestrictions(t *testing.T) {
 	}
 	if code, _ := get(t, srv.URL+"/nonsense"); code != http.StatusNotFound {
 		t.Errorf("unknown path status %d", code)
+	}
+}
+
+// TestEndpointTable is the one-row-per-endpoint contract: method, path,
+// status, content type, and format validity (JSON decodes; /metrics
+// survives the telemetry text-format parser).
+func TestEndpointTable(t *testing.T) {
+	coll := monitor.NewCollector(0)
+	coll.Mirror("01").Put(monitor.MD5Log, []byte("2010-02-19T12:10:00Z OK d41d8cd98f00b204e9800998ecf8427e\n"))
+	g := monitor.NewGapLedger()
+	g.Record(monitor.RoundReport{Round: 1, Hosts: []monitor.HostOutcome{{HostID: "01", Status: monitor.StatusOK}}})
+	reg := telemetry.NewRegistry()
+	reg.NewCounter("dash_test_total", "test counter").Inc()
+
+	full := NewServer(coll, []string{"01"}, t0).WithLedger(g).WithTelemetry(reg)
+	bare := NewServer(coll, []string{"01"}, t0)
+
+	const jsonCT = "application/json"
+	tests := []struct {
+		name     string
+		srv      *Server
+		method   string
+		path     string
+		status   int
+		ct       string
+		wantJSON bool // body must decode as JSON (errors included)
+		wantProm bool // body must pass the Prometheus text parser
+		inBody   string
+	}{
+		{name: "index", srv: full, method: "GET", path: "/", status: 200, ct: "text/plain; charset=utf-8", inBody: "monitoring host"},
+		{name: "healthz", srv: full, method: "GET", path: "/healthz", status: 200, ct: "text/plain; charset=utf-8", inBody: "ok"},
+		{name: "buildinfo", srv: full, method: "GET", path: "/buildinfo", status: 200, ct: jsonCT, wantJSON: true, inBody: "go_version"},
+		{name: "metrics", srv: full, method: "GET", path: "/metrics", status: 200, ct: telemetry.TextContentType, wantProm: true, inBody: "dash_test_total 1"},
+		{name: "metrics absent without registry", srv: bare, method: "GET", path: "/metrics", status: 404},
+		{name: "api hosts", srv: full, method: "GET", path: "/api/hosts", status: 200, ct: jsonCT, wantJSON: true},
+		{name: "api rounds", srv: full, method: "GET", path: "/api/rounds", status: 200, ct: jsonCT, wantJSON: true},
+		{name: "api gaps", srv: full, method: "GET", path: "/api/gaps", status: 200, ct: jsonCT, wantJSON: true, inBody: `"coverage"`},
+		{name: "api gaps without ledger", srv: bare, method: "GET", path: "/api/gaps", status: 404, ct: jsonCT, wantJSON: true, inBody: `"error"`},
+		{name: "api ledger", srv: full, method: "GET", path: "/api/ledger/01", status: 200, ct: jsonCT, wantJSON: true},
+		{name: "api ledger unknown host", srv: full, method: "GET", path: "/api/ledger/zz", status: 404, ct: jsonCT, wantJSON: true, inBody: `"error"`},
+		{name: "logs", srv: full, method: "GET", path: "/logs/01/" + monitor.MD5Log, status: 200, ct: "text/plain; charset=utf-8", inBody: "OK"},
+		{name: "logs unknown file", srv: full, method: "GET", path: "/logs/01/nope", status: 404},
+		{name: "post rejected", srv: full, method: "POST", path: "/api/hosts", status: 405},
+		{name: "unknown path", srv: full, method: "GET", path: "/nonsense", status: 404},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.srv.Handler())
+			defer srv.Close()
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d; body:\n%s", resp.StatusCode, tc.status, body)
+			}
+			if tc.ct != "" && resp.Header.Get("Content-Type") != tc.ct {
+				t.Errorf("content type = %q, want %q", resp.Header.Get("Content-Type"), tc.ct)
+			}
+			if tc.wantJSON {
+				var v any
+				if err := json.Unmarshal(body, &v); err != nil {
+					t.Errorf("body is not JSON: %v\n%s", err, body)
+				}
+			}
+			if tc.wantProm {
+				if _, err := telemetry.ParseText(string(body)); err != nil {
+					t.Errorf("/metrics body invalid: %v\n%s", err, body)
+				}
+			}
+			if tc.inBody != "" && !strings.Contains(string(body), tc.inBody) {
+				t.Errorf("body missing %q:\n%s", tc.inBody, body)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"frostlab/internal/telemetry"
 	"frostlab/internal/wire"
 )
 
@@ -56,6 +57,12 @@ type FleetConfig struct {
 
 	// Concurrency caps hosts collected in parallel (0 = all at once).
 	Concurrency int
+
+	// Tracer, when non-nil, records collection-plane spans with wall-clock
+	// timestamps: one "round" span on track 0 and one "collect <host>" span
+	// per host-round on that host's track. The tracer is concurrency-safe,
+	// so parallel host goroutines emit directly.
+	Tracer *telemetry.Tracer
 }
 
 // FleetCollector drives collection rounds across a fleet with bounded
@@ -70,6 +77,10 @@ type FleetCollector struct {
 	coll     *Collector
 	breakers map[string]*Breaker
 	ledger   *GapLedger
+	tids     map[string]int // tracer track per host; 0 is the fleet track
+
+	// met is nil until Instrument attaches a registry; see metrics.go.
+	met *fleetMetrics
 
 	mu      sync.Mutex
 	reports []RoundReport
@@ -104,9 +115,17 @@ func NewFleetCollector(coll *Collector, cfg FleetConfig) (*FleetCollector, error
 		coll:     coll,
 		breakers: make(map[string]*Breaker, len(cfg.Hosts)),
 		ledger:   NewGapLedger(),
+		tids:     make(map[string]int, len(cfg.Hosts)),
 	}
-	for _, h := range cfg.Hosts {
+	for i, h := range cfg.Hosts {
 		fc.breakers[h] = NewBreaker(cfg.Breaker)
+		fc.tids[h] = i + 1
+	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.SetThreadName(0, "fleet")
+		for _, h := range cfg.Hosts {
+			cfg.Tracer.SetThreadName(fc.tids[h], "host "+h)
+		}
 	}
 	return fc, nil
 }
@@ -141,6 +160,12 @@ func (fc *FleetCollector) BreakerState(hostID string) BreakerState {
 func (fc *FleetCollector) Round(ctx context.Context, now time.Time) RoundReport {
 	fc.round++
 	round := fc.round
+	var wallStart time.Time
+	if fc.met != nil || fc.cfg.Tracer != nil {
+		// The wall clock is only read when someone is watching, so
+		// uninstrumented deterministic runs stay byte-identical.
+		wallStart = time.Now()
+	}
 	if fc.cfg.RoundTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, fc.cfg.RoundTimeout)
@@ -165,6 +190,14 @@ func (fc *FleetCollector) Round(ctx context.Context, now time.Time) RoundReport 
 	wg.Wait()
 	rep := RoundReport{Round: round, At: now, Hosts: outcomes}
 	fc.ledger.Record(rep)
+	if fc.met != nil || fc.cfg.Tracer != nil {
+		wallDur := time.Since(wallStart)
+		fc.observeRound(rep, wallDur)
+		if tr := fc.cfg.Tracer; tr != nil {
+			tr.Span("round", "collect", 0, wallStart, wallDur)
+			tr.Counter("fleet_coverage", wallStart.Add(wallDur), fc.ledger.Coverage())
+		}
+	}
 	fc.mu.Lock()
 	fc.reports = append(fc.reports, rep)
 	fc.mu.Unlock()
@@ -176,6 +209,16 @@ func (fc *FleetCollector) Round(ctx context.Context, now time.Time) RoundReport 
 func (fc *FleetCollector) collectHost(ctx context.Context, hostID string, round int, now time.Time) HostOutcome {
 	out := HostOutcome{HostID: hostID}
 	br := fc.breakers[hostID]
+	if tr := fc.cfg.Tracer; tr != nil {
+		start := time.Now()
+		defer func() {
+			tr.Span("collect "+hostID, "host", fc.tids[hostID], start, time.Since(start))
+		}()
+	}
+	// Publish the breaker's position after the round settles, so the
+	// closed→open→half-open→closed walk of a flapping host is visible
+	// across scrapes.
+	defer func() { fc.observeBreaker(hostID, br.State()) }()
 	allow, probe := br.Gate()
 	if !allow {
 		out.Status = StatusSkipped

@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"frostlab/internal/telemetry"
+)
+
+// fleetMetrics is the FleetCollector's instrument set. It is nil until
+// Instrument is called, and every recording site is nil-guarded, so an
+// uninstrumented collector pays nothing and its behaviour — including
+// the byte-identical chaos replays — is unchanged.
+type fleetMetrics struct {
+	rounds   *telemetry.Counter
+	roundDur *telemetry.Histogram
+
+	attempts     *telemetry.CounterVec
+	retries      *telemetry.CounterVec
+	successes    *telemetry.CounterVec
+	failures     *telemetry.CounterVec
+	timeouts     *telemetry.CounterVec
+	skips        *telemetry.CounterVec
+	breakerState *telemetry.GaugeVec
+}
+
+// Instrument registers the collector's metrics on reg and starts
+// recording. Per-host series are labelled {host=...}; every fleet host
+// gets its children pre-created so scrapes show the full roster from
+// round zero (a breaker that never opens still exports state 0).
+//
+// Breaker positions are exported as a gauge encoding the BreakerState
+// enum: 0 closed, 1 open, 2 half-open. The gauge is refreshed after
+// every host-round settles, so the closed→open→half-open→closed walk of
+// a flapping host is visible across scrapes.
+func (fc *FleetCollector) Instrument(reg *telemetry.Registry) {
+	m := &fleetMetrics{
+		rounds: reg.NewCounter("frostlab_fleet_rounds_total",
+			"Collection rounds driven across the fleet."),
+		roundDur: reg.NewHistogram("frostlab_fleet_round_duration_seconds",
+			"Wall-clock duration of one whole collection round.", telemetry.DefBuckets),
+		attempts: reg.NewCounterVec("frostlab_fleet_host_attempts_total",
+			"Dial-handshake-collect attempts per host, including retries.", "host"),
+		retries: reg.NewCounterVec("frostlab_fleet_host_retries_total",
+			"Attempts beyond the first within a round, per host.", "host"),
+		successes: reg.NewCounterVec("frostlab_fleet_host_success_total",
+			"Host-rounds that mirrored data, per host.", "host"),
+		failures: reg.NewCounterVec("frostlab_fleet_host_failures_total",
+			"Host-rounds where every attempt failed, per host.", "host"),
+		timeouts: reg.NewCounterVec("frostlab_fleet_host_timeouts_total",
+			"Failed host-rounds whose last error was a deadline or timeout, per host.", "host"),
+		skips: reg.NewCounterVec("frostlab_fleet_host_skips_total",
+			"Host-rounds skipped because the circuit breaker was open, per host.", "host"),
+		breakerState: reg.NewGaugeVec("frostlab_fleet_breaker_state",
+			"Circuit-breaker position per host: 0 closed, 1 open, 2 half-open.", "host"),
+	}
+	for _, h := range fc.cfg.Hosts {
+		m.attempts.With(h)
+		m.retries.With(h)
+		m.successes.With(h)
+		m.failures.With(h)
+		m.timeouts.With(h)
+		m.skips.With(h)
+		m.breakerState.With(h).Set(float64(fc.breakers[h].State()))
+	}
+	reg.GaugeFunc("frostlab_fleet_coverage_ratio",
+		"Fleet-wide fraction of host-rounds that produced data (gap ledger).",
+		fc.ledger.Coverage)
+	reg.GaugeFunc("frostlab_fleet_ledger_rounds",
+		"Rounds folded into the gap ledger.",
+		func() float64 { return float64(fc.ledger.Rounds()) })
+	fc.met = m
+}
+
+// observeRound records one completed round: counter, wall-duration
+// histogram, and per-host outcome counters.
+func (fc *FleetCollector) observeRound(rep RoundReport, wallDur time.Duration) {
+	m := fc.met
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+	m.roundDur.Observe(wallDur.Seconds())
+	for _, h := range rep.Hosts {
+		switch h.Status {
+		case StatusOK:
+			m.successes.With(h.HostID).Inc()
+		case StatusFailed:
+			m.failures.With(h.HostID).Inc()
+		case StatusSkipped:
+			m.skips.With(h.HostID).Inc()
+		}
+		if h.Attempts > 0 {
+			m.attempts.With(h.HostID).Add(uint64(h.Attempts))
+		}
+		if h.Attempts > 1 {
+			m.retries.With(h.HostID).Add(uint64(h.Attempts - 1))
+		}
+		if h.Status == StatusFailed && isTimeoutErr(h.Err) {
+			m.timeouts.With(h.HostID).Inc()
+		}
+	}
+}
+
+// observeBreaker publishes a host's current breaker position.
+func (fc *FleetCollector) observeBreaker(hostID string, st BreakerState) {
+	if fc.met == nil {
+		return
+	}
+	fc.met.breakerState.With(hostID).Set(float64(st))
+}
+
+// isTimeoutErr classifies a recorded outcome error string as a
+// deadline/timeout. Outcomes carry rendered error strings (they are
+// serialized into reports and across the dash API), so classification
+// matches the canonical stdlib renderings rather than unwrapping live
+// error chains.
+func isTimeoutErr(msg string) bool {
+	return msg != "" &&
+		(strings.Contains(msg, context.DeadlineExceeded.Error()) ||
+			strings.Contains(msg, "i/o timeout")) // net.Conn deadline errors
+}

@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"frostlab/internal/telemetry"
+)
+
+// TestFleetInstrumentation drives an instrumented fleet through the
+// retry→breaker walk from TestFleetRetriesThenBreaker and checks the
+// scraped series: success/failure/retry/skip counters, the breaker-state
+// gauge, coverage, and round-duration histogram shape.
+func TestFleetInstrumentation(t *testing.T) {
+	ids := []string{"01", "02"}
+	agents, keys := testFleet(t, ids)
+	sleep := &fakeSleeper{}
+	cfg := testConfig(ids, agents, keys, sleep)
+	cfg.Dial = failingDialer(cfg.Dial, map[string]bool{"02": true})
+	cfg.Tracer = telemetry.NewTracer(256)
+	fc, err := NewFleetCollector(NewCollector(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	fc.Instrument(reg)
+
+	// Before any round: both hosts pre-created with closed breakers.
+	samples := scrape(t, reg)
+	for _, h := range ids {
+		if s, ok := telemetry.FindSample(samples, "frostlab_fleet_breaker_state", "host", h); !ok || s.Value != 0 {
+			t.Fatalf("pre-round breaker state for %s = %+v (found=%v), want 0 (closed)", h, s, ok)
+		}
+	}
+
+	// Rounds 1-2 trip host 02's breaker; rounds 3-4 are skipped; round 5
+	// is the failed half-open probe.
+	for i := 0; i < 5; i++ {
+		fc.Round(context.Background(), fleetT0)
+	}
+
+	samples = scrape(t, reg)
+	checks := []struct {
+		name, host string
+		want       float64
+	}{
+		{"frostlab_fleet_rounds_total", "", 5},
+		{"frostlab_fleet_ledger_rounds", "", 5},
+		{"frostlab_fleet_coverage_ratio", "", 0.5},
+		{"frostlab_fleet_host_success_total", "01", 5},
+		{"frostlab_fleet_host_attempts_total", "01", 5},
+		{"frostlab_fleet_host_failures_total", "02", 3}, // rounds 1, 2, probe
+		{"frostlab_fleet_host_skips_total", "02", 2},    // rounds 3, 4
+		{"frostlab_fleet_host_attempts_total", "02", 7}, // 3+3 retried + 1 probe
+		{"frostlab_fleet_host_retries_total", "02", 4},  // 2 per retried round
+		{"frostlab_fleet_host_timeouts_total", "02", 0}, // refused, not timed out
+		{"frostlab_fleet_breaker_state", "01", 0},
+		{"frostlab_fleet_breaker_state", "02", float64(BreakerOpen)},
+	}
+	for _, c := range checks {
+		var labels []string
+		if c.host != "" {
+			labels = []string{"host", c.host}
+		}
+		s, ok := telemetry.FindSample(samples, c.name, labels...)
+		if !ok {
+			t.Errorf("%s{host=%q}: no sample", c.name, c.host)
+			continue
+		}
+		if s.Value != c.want {
+			t.Errorf("%s{host=%q} = %v, want %v", c.name, c.host, s.Value, c.want)
+		}
+	}
+	// The duration histogram saw every round.
+	if s, ok := telemetry.FindSample(samples, "frostlab_fleet_round_duration_seconds_count"); !ok || s.Value != 5 {
+		t.Errorf("round duration histogram count = %+v, want 5", s)
+	}
+
+	// The tracer recorded wall-clock round spans and per-host collect
+	// spans on named tracks.
+	var rounds, collects int
+	for _, ev := range cfg.Tracer.Events() {
+		switch {
+		case ev.Name == "round":
+			rounds++
+		case strings.HasPrefix(ev.Name, "collect "):
+			collects++
+		}
+	}
+	if rounds != 5 {
+		t.Errorf("traced %d round spans, want 5", rounds)
+	}
+	// Host 02 has no collect span for the 2 breaker-skipped rounds' dials —
+	// the span covers collectHost, which still runs for skips, so both
+	// hosts trace every round.
+	if collects != 10 {
+		t.Errorf("traced %d collect spans, want 10", collects)
+	}
+}
+
+// TestIsTimeoutErr pins the rendered-error classification to the
+// strings attempt() actually produces.
+func TestIsTimeoutErr(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"dial: context deadline exceeded", true},
+		{"collect: read pipe: i/o timeout", true},
+		{"handshake: connection refused (test)", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := isTimeoutErr(c.msg); got != c.want {
+			t.Errorf("isTimeoutErr(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func scrape(t *testing.T, reg *telemetry.Registry) []telemetry.Sample {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParseText(b.String())
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v\n%s", err, b.String())
+	}
+	return samples
+}

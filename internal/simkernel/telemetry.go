@@ -1,0 +1,35 @@
+package simkernel
+
+import (
+	"time"
+
+	"frostlab/internal/telemetry"
+)
+
+// Instrument registers scrape-time views over the scheduler: events
+// dispatched, queue depth, the simulated clock, and the lag between
+// wall time and simulated time. The scheduler's own counters are read
+// lazily at scrape, so the dispatch hot path is untouched and keeps its
+// zero-allocations-per-event property.
+//
+// The Scheduler is single-threaded by design; scrape the registry from
+// the simulation goroutine (between events) or after the run. Live
+// daemons that serve /metrics concurrently instrument their own
+// (atomic) planes instead.
+func Instrument(reg *telemetry.Registry, s *Scheduler, wallNow func() time.Time) {
+	if wallNow == nil {
+		wallNow = time.Now
+	}
+	reg.CounterFunc("frostlab_sim_events_fired_total",
+		"Events dispatched by the simulation scheduler.",
+		func() float64 { return float64(s.Fired()) })
+	reg.GaugeFunc("frostlab_sim_queue_depth",
+		"Pending events in the scheduler queue, including not-yet-skipped canceled ones.",
+		func() float64 { return float64(s.Pending()) })
+	reg.GaugeFunc("frostlab_sim_clock_seconds",
+		"Current simulated time as a Unix timestamp.",
+		func() float64 { return float64(s.Now().Unix()) })
+	reg.GaugeFunc("frostlab_sim_lag_seconds",
+		"Wall-clock time minus simulated time, in seconds: how far the simulated timeline trails (positive) or leads (negative) the wall clock at scrape.",
+		func() float64 { return wallNow().Sub(s.Now()).Seconds() })
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the package's core contract: the update path of every
+// instrument — and a span emit into a pre-sized tracer ring — performs
+// zero allocations, so instrumenting PR 2's zero-alloc simulation hot
+// paths cannot regress them.
+
+func TestCounterIncZeroAllocs(t *testing.T) {
+	var c Counter
+	if avg := testing.AllocsPerRun(1000, c.Inc); avg != 0 {
+		t.Errorf("Counter.Inc allocates %.2f objs, want 0", avg)
+	}
+}
+
+func TestGaugeSetAddZeroAllocs(t *testing.T) {
+	var g Gauge
+	avg := testing.AllocsPerRun(1000, func() {
+		g.Set(3.5)
+		g.Add(1)
+	})
+	if avg != 0 {
+		t.Errorf("Gauge.Set+Add allocates %.2f objs, want 0", avg)
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	v := 0.0
+	avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 0.1
+		if v > 100 {
+			v = 0
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Histogram.Observe allocates %.2f objs, want 0", avg)
+	}
+}
+
+func TestCachedVecChildZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("vec_total", "x", "host")
+	child := v.With("01") // hot paths resolve the child once
+	if avg := testing.AllocsPerRun(1000, child.Inc); avg != 0 {
+		t.Errorf("cached vec child Inc allocates %.2f objs, want 0", avg)
+	}
+}
+
+func TestTracerEmitZeroAllocs(t *testing.T) {
+	tr := NewTracer(1024)
+	at := time.Date(2010, 2, 19, 0, 0, 0, 0, time.UTC)
+	avg := testing.AllocsPerRun(1000, func() {
+		tr.Span("cycle", "sim", 3, at, time.Minute)
+		tr.Instant("tick", "sim", 0, at)
+		tr.Counter("tent_power_w", at, 570)
+		at = at.Add(time.Minute)
+	})
+	if avg != 0 {
+		t.Errorf("tracer emit trio allocates %.2f objs, want 0", avg)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) / 100)
+	}
+}
+
+func BenchmarkTracerSpan(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	at := time.Date(2010, 2, 19, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("round", "monitor", 1, at, time.Second)
+	}
+}

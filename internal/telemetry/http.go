@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+)
+
+// TextContentType is the Prometheus text exposition content type served
+// by MetricsHandler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler is a trivial liveness probe: 200 "ok".
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// BuildInfo is the build/version report served on /buildinfo by every
+// frostlab daemon, assembled from runtime/debug.ReadBuildInfo.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	VCSRev    string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// ReadBuildInfo collects the daemon's build identity. It degrades
+// gracefully when the binary was built without module or VCS metadata.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Path = bi.Path
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.VCSRev = s.Value
+		case "vcs.time":
+			out.VCSTime = s.Value
+		}
+	}
+	return out
+}
+
+// BuildInfoHandler serves ReadBuildInfo as JSON.
+func BuildInfoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(ReadBuildInfo())
+	})
+}
+
+// DebugMux is the telemetry listener every daemon serves behind its
+// -debug-addr flag: /metrics, /healthz and /buildinfo, plus the
+// net/http/pprof suite under /debug/pprof/ when withPprof is set. The
+// profiler endpoints are wired explicitly rather than through
+// http.DefaultServeMux, so a daemon that leaves pprof off exposes no
+// profiling surface at all.
+func DebugMux(reg *Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	mux.Handle("GET /healthz", HealthzHandler())
+	mux.Handle("GET /buildinfo", BuildInfoHandler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

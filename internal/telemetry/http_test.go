@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugMuxEndpoints is the table-driven coverage for the telemetry
+// HTTP surface: status code, content type, and — for /metrics — that
+// the body survives the in-repo text-format parser.
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("http_test_events_total", "an event counter").Add(5)
+	reg.NewHistogram("http_test_lat_seconds", "a latency histogram", DefBuckets).Observe(0.3)
+
+	tests := []struct {
+		name        string
+		pprof       bool
+		method      string
+		path        string
+		wantStatus  int
+		wantCT      string
+		wantInBody  string
+		parseMetric bool
+	}{
+		{name: "metrics", method: "GET", path: "/metrics", wantStatus: 200, wantCT: TextContentType, wantInBody: "http_test_events_total 5", parseMetric: true},
+		{name: "healthz", method: "GET", path: "/healthz", wantStatus: 200, wantCT: "text/plain; charset=utf-8", wantInBody: "ok"},
+		{name: "buildinfo", method: "GET", path: "/buildinfo", wantStatus: 200, wantCT: "application/json", wantInBody: "go_version"},
+		{name: "metrics POST rejected", method: "POST", path: "/metrics", wantStatus: 405},
+		{name: "unknown path", method: "GET", path: "/nope", wantStatus: 404},
+		{name: "pprof off by default", method: "GET", path: "/debug/pprof/", wantStatus: 404},
+		{name: "pprof index gated on", pprof: true, method: "GET", path: "/debug/pprof/", wantStatus: 200, wantInBody: "goroutine"},
+		{name: "pprof symbol gated on", pprof: true, method: "GET", path: "/debug/pprof/symbol", wantStatus: 200},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(DebugMux(reg, tc.pprof))
+			defer srv.Close()
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body:\n%s", resp.StatusCode, tc.wantStatus, body)
+			}
+			if tc.wantCT != "" && resp.Header.Get("Content-Type") != tc.wantCT {
+				t.Errorf("content type = %q, want %q", resp.Header.Get("Content-Type"), tc.wantCT)
+			}
+			if tc.wantInBody != "" && !strings.Contains(string(body), tc.wantInBody) {
+				t.Errorf("body missing %q:\n%s", tc.wantInBody, body)
+			}
+			if tc.parseMetric {
+				if _, err := ParseText(string(body)); err != nil {
+					t.Errorf("/metrics body invalid: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildInfoHandlerJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	BuildInfoHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/buildinfo", nil))
+	var bi BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("buildinfo not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Errorf("buildinfo missing runtime fields: %+v", bi)
+	}
+	// Under `go test` the module path is available via ReadBuildInfo.
+	if bi.Module != "frostlab" {
+		t.Errorf("module = %q, want frostlab", bi.Module)
+	}
+}

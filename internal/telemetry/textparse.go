@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a deliberately small parser for the Prometheus text
+// exposition format — enough to validate frostlab's own /metrics output
+// in tests (and to let a test assert on an individual series) without
+// importing a client library. It checks the structural rules a real
+// scraper relies on: HELP/TYPE comment shape, metric-name and label
+// syntax, parseable values, no duplicate series, and histogram bucket
+// monotonicity.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// key renders the sample's identity for duplicate detection.
+func (s Sample) key() string {
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, n := range names {
+		b.WriteByte('{')
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[n])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// ParseText parses a Prometheus text-format exposition and returns its
+// samples, or an error describing the first structural violation.
+func ParseText(text string) ([]Sample, error) {
+	var samples []Sample
+	typed := make(map[string]string) // metric name -> TYPE
+	seen := make(map[string]bool)    // duplicate series detection
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if seen[s.key()] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, s.key())
+		}
+		seen[s.key()] = true
+		samples = append(samples, s)
+	}
+	if err := checkHistograms(samples, typed); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if !validName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line %q missing type", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("second TYPE line for %q", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: make(map[string]string)}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if space < 0 {
+		return s, fmt.Errorf("no value on series line %q", line)
+	}
+	if brace >= 0 && brace < space {
+		s.Name = rest[:brace]
+		close := strings.LastIndexByte(rest, '}')
+		if close < brace {
+			return s, fmt.Errorf("unclosed label braces in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : close])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[close+1:])
+	} else {
+		s.Name = rest[:space]
+		rest = strings.TrimSpace(rest[space+1:])
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	// A timestamp after the value is legal in the format; frostlab never
+	// emits one, but accept it for generality.
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i]
+	}
+	v, err := parseValue(valueField)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valueField, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return out, nil
+}
+
+// checkHistograms verifies that every TYPE histogram family has
+// monotonically non-decreasing cumulative buckets ending in le="+Inf",
+// and that its _count equals the +Inf bucket.
+func checkHistograms(samples []Sample, typed map[string]string) error {
+	type hist struct {
+		lastLE    float64
+		lastCount float64
+		infCount  float64
+		haveInf   bool
+	}
+	hists := make(map[string]*hist) // family+non-le labels -> state
+	groupKey := func(base string, s Sample) string {
+		names := make([]string, 0, len(s.Labels))
+		for n := range s.Labels {
+			if n != "le" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		b.WriteString(base)
+		for _, n := range names {
+			fmt.Fprintf(&b, "{%s=%s}", n, s.Labels[n])
+		}
+		return b.String()
+	}
+	for _, s := range samples {
+		base, isBucket := strings.CutSuffix(s.Name, "_bucket")
+		if !isBucket || typed[base] != "histogram" {
+			continue
+		}
+		key := groupKey(base, s)
+		h, ok := hists[key]
+		if !ok {
+			h = &hist{lastLE: -1e308}
+			hists[key] = h
+		}
+		le := s.Label("le")
+		if le == "" {
+			return fmt.Errorf("histogram bucket %s without le label", s.Name)
+		}
+		bound, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", base, le)
+		}
+		if bound <= h.lastLE {
+			return fmt.Errorf("histogram %s: le %q out of order", base, le)
+		}
+		if s.Value < h.lastCount {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%q", base, le)
+		}
+		h.lastLE, h.lastCount = bound, s.Value
+		if le == "+Inf" {
+			h.haveInf, h.infCount = true, s.Value
+		}
+	}
+	for _, s := range samples {
+		base, isCount := strings.CutSuffix(s.Name, "_count")
+		if !isCount || typed[base] != "histogram" {
+			continue
+		}
+		key := groupKey(base, s)
+		if h, ok := hists[key]; ok {
+			if !h.haveInf {
+				return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", base)
+			}
+			if s.Value != h.infCount {
+				return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", base, s.Value, h.infCount)
+			}
+		}
+	}
+	return nil
+}
+
+// FindSample returns the first sample matching name and all given label
+// pairs (alternating key, value), or false.
+func FindSample(samples []Sample, name string, labelPairs ...string) (Sample, bool) {
+	if len(labelPairs)%2 != 0 {
+		panic("telemetry: FindSample needs alternating label key/value pairs")
+	}
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(labelPairs); i += 2 {
+			if s.Label(labelPairs[i]) != labelPairs[i+1] {
+				continue next
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}

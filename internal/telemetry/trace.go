@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifiers in the Chrome trace-event format.
+const (
+	phaseComplete = 'X' // a span with a duration
+	phaseInstant  = 'i' // a point event
+	phaseCounter  = 'C' // a sampled counter track
+)
+
+// TraceEvent is one recorded trace entry. Times are absolute; the
+// exporter rebases them onto the tracer's epoch so the trace starts at
+// t=0 regardless of whether the clock was simulated or wall.
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	TID   int
+	Start time.Time
+	Dur   time.Duration
+	Value float64 // counter tracks only
+	Phase byte
+}
+
+// Tracer records spans, instants and counter samples into a bounded
+// ring buffer. When the ring is full the oldest events are overwritten
+// and counted in Dropped, so a tracer attached to a long campaign costs
+// fixed memory no matter how long it runs.
+//
+// The emit methods take explicit timestamps instead of reading a clock:
+// the simulation plane stamps events with *simulated* time (so a trace
+// of a reference run shows the Feb–Mar timeline), while the collection
+// plane stamps wall-clock durations. All methods are safe for
+// concurrent use; within one timestamp, events keep emit order.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []TraceEvent
+	next    int // ring write cursor
+	n       int // events currently held
+	dropped uint64
+	epoch   time.Time
+	haveEp  bool
+	threads map[int]string
+}
+
+// DefaultTraceCapacity bounds a tracer that did not choose its own: 64k
+// events is a full reference run's interesting activity at well under
+// 10 MB.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer holding at most capacity events
+// (DefaultTraceCapacity when capacity <= 0). The ring is allocated up
+// front so emitting never allocates.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]TraceEvent, capacity), threads: make(map[int]string)}
+}
+
+// SetThreadName labels a tid in the exported trace (about:tracing shows
+// it as the row name). Call during setup; names emitted as metadata.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threads[tid] = name
+}
+
+// Span records a complete span starting at start and lasting d.
+func (t *Tracer) Span(name, cat string, tid int, start time.Time, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.emit(TraceEvent{Name: name, Cat: cat, TID: tid, Start: start, Dur: d, Phase: phaseComplete})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(name, cat string, tid int, at time.Time) {
+	t.emit(TraceEvent{Name: name, Cat: cat, TID: tid, Start: at, Phase: phaseInstant})
+}
+
+// Counter records one sample of a named counter track (rendered by
+// about:tracing as a filled graph under the process).
+func (t *Tracer) Counter(name string, at time.Time, value float64) {
+	t.emit(TraceEvent{Name: name, Start: at, Value: value, Phase: phaseCounter})
+}
+
+func (t *Tracer) emit(ev TraceEvent) {
+	t.mu.Lock()
+	if !t.haveEp || ev.Start.Before(t.epoch) {
+		t.epoch = ev.Start
+		t.haveEp = true
+	}
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped reports how many events were overwritten after the ring
+// filled.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the held events oldest-first.
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// WriteChromeTrace exports the held events as a Chrome trace-event JSON
+// array, loadable in about:tracing and Perfetto. Timestamps are
+// microseconds since the earliest recorded event.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	epoch := t.epoch
+	names := make(map[int]string, len(t.threads))
+	for k, v := range t.threads {
+		names[k] = v
+	}
+	t.mu.Unlock()
+	events := t.Events()
+
+	var b strings.Builder
+	b.WriteString("[\n")
+	first := true
+	tids := make([]int, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		writeSep(&b, &first)
+		fmt.Fprintf(&b, `{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, tid, names[tid])
+	}
+	for _, ev := range events {
+		writeSep(&b, &first)
+		ts := ev.Start.Sub(epoch).Microseconds()
+		switch ev.Phase {
+		case phaseComplete:
+			fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d}`,
+				ev.Name, ev.Cat, ts, ev.Dur.Microseconds(), ev.TID)
+		case phaseInstant:
+			fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":1,"tid":%d}`,
+				ev.Name, ev.Cat, ts, ev.TID)
+		case phaseCounter:
+			fmt.Fprintf(&b, `{"name":%q,"ph":"C","ts":%d,"pid":1,"args":{%q:%s}}`,
+				ev.Name, ts, ev.Name, formatValue(ev.Value))
+		}
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSep(b *strings.Builder, first *bool) {
+	if *first {
+		*first = false
+		return
+	}
+	b.WriteString(",\n")
+}

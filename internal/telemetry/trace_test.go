@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var traceT0 = time.Date(2010, 2, 19, 12, 0, 0, 0, time.UTC)
+
+// chromeEvent mirrors the subset of the trace-event format we emit,
+// used to verify the export is loadable JSON with the right fields.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func exportEvents(t *testing.T, tr *Tracer) []chromeEvent {
+	t.Helper()
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	return events
+}
+
+func TestTracerExportShape(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetThreadName(0, "fleet")
+	tr.SetThreadName(3, "host 03")
+	tr.Span("outage", "failure", 3, traceT0.Add(time.Hour), 30*time.Minute)
+	tr.Instant("install", "host", 3, traceT0)
+	tr.Counter("coverage", traceT0.Add(2*time.Hour), 0.89)
+
+	events := exportEvents(t, tr)
+	if len(events) != 5 { // 2 metadata + 3 recorded
+		t.Fatalf("exported %d events, want 5", len(events))
+	}
+	byPh := map[string][]chromeEvent{}
+	for _, ev := range events {
+		byPh[ev.Ph] = append(byPh[ev.Ph], ev)
+	}
+	if len(byPh["M"]) != 2 {
+		t.Errorf("thread metadata events = %d, want 2", len(byPh["M"]))
+	}
+	span := byPh["X"][0]
+	// The epoch is the earliest event (the install at traceT0), so the
+	// outage span lands at +1h in microseconds.
+	if span.TS != time.Hour.Microseconds() || span.Dur != (30*time.Minute).Microseconds() {
+		t.Errorf("span ts/dur = %d/%d", span.TS, span.Dur)
+	}
+	if span.TID != 3 || span.Cat != "failure" {
+		t.Errorf("span fields = %+v", span)
+	}
+	inst := byPh["i"][0]
+	if inst.TS != 0 || inst.S != "t" {
+		t.Errorf("instant fields = %+v", inst)
+	}
+	ctr := byPh["C"][0]
+	if v, ok := ctr.Args["coverage"].(float64); !ok || v != 0.89 {
+		t.Errorf("counter args = %+v", ctr.Args)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("e", "sim", i, traceT0.Add(time.Duration(i)*time.Minute))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("Events returned %d", len(events))
+	}
+	// Oldest-first: the survivors are emits 6..9.
+	for i, ev := range events {
+		if ev.TID != 6+i {
+			t.Errorf("event %d has tid %d, want %d (oldest-first order)", i, ev.TID, 6+i)
+		}
+	}
+}
+
+func TestTracerNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Span("s", "c", 0, traceT0, -time.Second)
+	if ev := tr.Events()[0]; ev.Dur != 0 {
+		t.Errorf("negative duration stored as %v, want 0", ev.Dur)
+	}
+}
+
+func TestTracerEmptyExport(t *testing.T) {
+	tr := NewTracer(4)
+	events := exportEvents(t, tr)
+	if len(events) != 0 {
+		t.Errorf("empty tracer exported %d events", len(events))
+	}
+}
