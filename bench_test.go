@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"frostlab/internal/campaign"
+	"frostlab/internal/control"
 	"frostlab/internal/core"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
@@ -108,6 +109,58 @@ func BenchmarkReferenceRunInstrumented(b *testing.B) {
 		if i == 0 {
 			logOnce(b, "instrumented", firstLines(sb.String(), 4)+
 				fmt.Sprintf("\n… %d trace events recorded", exp.Tracer().Len()))
+		}
+	}
+}
+
+// BenchmarkControlledRun measures the closed-loop reference run: the same
+// 35-day physics with the E14 ventilation controller stepping the damper
+// every 5 simulated minutes. The control stage holds a zero-allocation
+// tick budget (core.TestControlTickAllocs), so the delta over
+// BenchmarkReferenceRun is pure arithmetic, not garbage.
+func BenchmarkControlledRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(core.ReferenceSeed)
+		cfg.MonitorEvery = 0
+		cc := control.DefaultConfig()
+		cfg.Control = &cc
+		exp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControlledRunInstrumented adds the live metrics registry and
+// span tracer to the closed-loop run. The CI overhead gate holds this
+// within 5% of BenchmarkControlledRun: the controller gauges are
+// scrape-time views and the damper counter track writes into the tracer's
+// preallocated ring.
+func BenchmarkControlledRunInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(core.ReferenceSeed)
+		cfg.MonitorEvery = 0
+		cc := control.DefaultConfig()
+		cfg.Control = &cc
+		exp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		exp.InstrumentTelemetry(reg)
+		exp.WithTracer(telemetry.NewTracer(telemetry.DefaultTraceCapacity))
+		if _, err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && !strings.Contains(sb.String(), "frostlab_control_ticks_total") {
+			b.Fatal("instrumented closed-loop run exposes no control metrics")
 		}
 	}
 }

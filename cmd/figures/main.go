@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures -id fig1|fig2|fig3|fig4|failures|hashes|memory|pue|prototype|
-//	            lmsensors|savings|monitoring|events|all
+//	            lmsensors|savings|monitoring|events|control|all
 //	        [-seed SEED] [-monitor 0]
 package main
 
@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"frostlab/internal/control"
 	"frostlab/internal/core"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
@@ -25,7 +26,7 @@ import (
 var needsRun = map[string]bool{
 	"fig2": true, "fig3": true, "fig4": true, "failures": true,
 	"hashes": true, "memory": true, "lmsensors": true, "monitoring": true,
-	"events": true, "analysis": true, "cpu": true, "all": true,
+	"events": true, "analysis": true, "cpu": true, "control": true, "all": true,
 }
 
 func main() {
@@ -55,6 +56,14 @@ func run() error {
 		if want == "monitoring" && *monitor == 0 {
 			cfg.MonitorEvery = 20 * time.Minute
 		}
+		if want == "control" {
+			// The control figure needs a closed-loop run with the logger
+			// recording from day one.
+			cc := control.DefaultConfig()
+			cfg.Control = &cc
+			cfg.LascarArrival = cfg.Start
+			cfg.ReadoutEvery = 0
+		}
 		exp, err := core.New(cfg)
 		if err != nil {
 			return err
@@ -68,7 +77,7 @@ func run() error {
 	switch want {
 	case "fig1", "fig2", "fig3", "fig4", "failures", "hashes", "memory",
 		"pue", "prototype", "lmsensors", "savings", "monitoring", "events",
-		"analysis", "cpu", "all":
+		"analysis", "cpu", "control", "all":
 	default:
 		return fmt.Errorf("unknown artefact id %q", want)
 	}
@@ -96,6 +105,13 @@ func run() error {
 			} else {
 				return err
 			}
+		}
+		if want == "control" {
+			s, err := report.FigControl(r)
+			if err != nil {
+				return err
+			}
+			emit("control", s)
 		}
 		emit("failures", report.TableFailureRates(r))
 		emit("hashes", report.TableWrongHashes(r))

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos] [-monitor 20m]
+//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events] [-trace out.json]
 //
 // With no flags it reproduces the reference run (seed winter0910-r115).
 // -phase chaos runs the E13 monitoring-outage study instead: an in-process
 // fleet collected under seeded fault injection (see -chaos-* flags).
+// -phase control runs the E14 free-cooling control study: the winter and
+// spring scenarios open-loop vs closed-loop, with envelope residency
+// measured identically for every arm (see -control-* flags).
 // -trace records the run as Chrome trace-event JSON — open it in
 // chrome://tracing or https://ui.perfetto.dev to see the experiment
 // timeline: per-host outage spans, install/repair instants, monitoring
@@ -40,7 +43,7 @@ func main() {
 
 func run() error {
 	seed := flag.String("seed", core.ReferenceSeed, "master RNG seed")
-	phase := flag.String("phase", "all", "all | prototype | normal")
+	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control")
 	monitor := flag.Duration("monitor", 20*time.Minute, "monitoring cadence (0 disables the rsync plane)")
 	days := flag.Int("days", 0, "override the normal-phase length in days (0 = paper horizon)")
 	csvDir := flag.String("csv", "", "write temperature/humidity CSVs into this directory")
@@ -50,10 +53,14 @@ func run() error {
 	mdTo := flag.String("md", "", "write a complete markdown run report to this file")
 	traceTo := flag.String("trace", "", "write the run as Chrome trace-event JSON to this file")
 	ch := chaosFlags()
+	co := controlFlags()
 	flag.Parse()
 
 	if *phase == "chaos" {
 		return runChaosStudy(*seed, ch, *traceTo)
+	}
+	if *phase == "control" {
+		return runControlStudy(*seed, co)
 	}
 
 	if *phase == "all" || *phase == "prototype" {

@@ -27,8 +27,10 @@ import (
 	"strings"
 	"time"
 
+	"frostlab/internal/control"
 	"frostlab/internal/core"
 	"frostlab/internal/hardware"
+	"frostlab/internal/units"
 	"frostlab/internal/weather"
 )
 
@@ -92,6 +94,20 @@ type Sweep struct {
 	MonitorEvery []time.Duration
 	// Mods toggles the R/I/B/F modification ladder.
 	Mods []bool
+	// ControlSetpoints enables the closed-loop control plane
+	// (internal/control) and sweeps its ventilation setpoint in °C.
+	// Empty leaves the paper's open-loop calendar in force, unless
+	// ControlGains is swept (the default setpoint is then pinned).
+	ControlSetpoints []float64
+	// ControlGains sweeps PID gain triples for the closed loop; empty
+	// pins the default gains. Sweeping either control axis turns the
+	// controller on for every point of that axis.
+	ControlGains []PIDGains
+}
+
+// PIDGains is one gain triple of the ControlGains sweep axis.
+type PIDGains struct {
+	Kp, Ki, Kd float64
 }
 
 // point is one cell of the sweep cross product.
@@ -100,6 +116,9 @@ type point struct {
 	fleetPairs int
 	monitor    time.Duration
 	mods       bool
+	ctlOn      bool
+	ctlSet     float64
+	ctlGains   PIDGains
 	label      string
 }
 
@@ -129,39 +148,76 @@ func (s *Spec) points() []point {
 	if len(mods) == 0 {
 		mods = []bool{true}
 	}
+	// Sweeping either control axis switches the closed loop on for every
+	// point of that expansion; the other axis is pinned at its default.
+	type ctlCell struct {
+		on       bool
+		setpoint float64
+		gains    PIDGains
+	}
+	ctls := []ctlCell{{}}
+	if len(s.Sweep.ControlSetpoints) > 0 || len(s.Sweep.ControlGains) > 0 {
+		def := control.DefaultConfig()
+		setpoints := s.Sweep.ControlSetpoints
+		if len(setpoints) == 0 {
+			setpoints = []float64{float64(def.Setpoint)}
+		}
+		gains := s.Sweep.ControlGains
+		if len(gains) == 0 {
+			gains = []PIDGains{{Kp: def.Kp, Ki: def.Ki, Kd: def.Kd}}
+		}
+		ctls = ctls[:0]
+		for _, sp := range setpoints {
+			for _, g := range gains {
+				ctls = append(ctls, ctlCell{on: true, setpoint: sp, gains: g})
+			}
+		}
+	}
 	var pts []point
 	for _, cl := range climates {
 		for _, fp := range fleets {
 			for _, mon := range monitors {
 				for _, md := range mods {
-					pt := point{climate: cl, fleetPairs: fp, monitor: mon, mods: md}
-					var parts []string
-					if len(s.Sweep.Climates) > 0 {
-						name := cl
-						if name == "" {
-							name = "reference"
+					for _, ctl := range ctls {
+						pt := point{
+							climate: cl, fleetPairs: fp, monitor: mon, mods: md,
+							ctlOn: ctl.on, ctlSet: ctl.setpoint, ctlGains: ctl.gains,
 						}
-						parts = append(parts, "climate="+name)
-					}
-					if len(s.Sweep.FleetPairs) > 0 {
-						parts = append(parts, fmt.Sprintf("fleet=%dx2", fp))
-					}
-					if len(s.Sweep.MonitorEvery) > 0 {
-						parts = append(parts, "monitor="+mon.String())
-					}
-					if len(s.Sweep.Mods) > 0 {
-						if md {
-							parts = append(parts, "mods=on")
+						var parts []string
+						if len(s.Sweep.Climates) > 0 {
+							name := cl
+							if name == "" {
+								name = "reference"
+							}
+							parts = append(parts, "climate="+name)
+						}
+						if len(s.Sweep.FleetPairs) > 0 {
+							parts = append(parts, fmt.Sprintf("fleet=%dx2", fp))
+						}
+						if len(s.Sweep.MonitorEvery) > 0 {
+							parts = append(parts, "monitor="+mon.String())
+						}
+						if len(s.Sweep.Mods) > 0 {
+							if md {
+								parts = append(parts, "mods=on")
+							} else {
+								parts = append(parts, "mods=off")
+							}
+						}
+						if len(s.Sweep.ControlSetpoints) > 0 {
+							parts = append(parts, fmt.Sprintf("setpoint=%g°C", ctl.setpoint))
+						}
+						if len(s.Sweep.ControlGains) > 0 {
+							parts = append(parts, fmt.Sprintf("gains=%g/%g/%g",
+								ctl.gains.Kp, ctl.gains.Ki, ctl.gains.Kd))
+						}
+						if len(parts) == 0 {
+							pt.label = "base"
 						} else {
-							parts = append(parts, "mods=off")
+							pt.label = strings.Join(parts, " ")
 						}
+						pts = append(pts, pt)
 					}
-					if len(parts) == 0 {
-						pt.label = "base"
-					} else {
-						pt.label = strings.Join(parts, " ")
-					}
-					pts = append(pts, pt)
 				}
 			}
 		}
@@ -197,6 +253,12 @@ func (s *Spec) config(pt point, rep int) (core.Config, error) {
 			return cfg, err
 		}
 		cfg.Fleet = fleet
+	}
+	if pt.ctlOn {
+		cc := control.DefaultConfig()
+		cc.Setpoint = units.Celsius(pt.ctlSet)
+		cc.Kp, cc.Ki, cc.Kd = pt.ctlGains.Kp, pt.ctlGains.Ki, pt.ctlGains.Kd
+		cfg.Control = &cc
 	}
 	if s.Mutate != nil {
 		s.Mutate(rep, &cfg)

@@ -205,6 +205,62 @@ func TestSweepCrossProduct(t *testing.T) {
 	}
 }
 
+// TestControlSweepAxes expands the closed-loop axes, labels the points,
+// and pools envelope residency over controlled replicates only.
+func TestControlSweepAxes(t *testing.T) {
+	spec := campaign.Spec{
+		Seed:    "control-sweep",
+		Reps:    2,
+		Workers: 4,
+		Days:    2,
+		Sweep: campaign.Sweep{
+			FleetPairs:       []int{1},
+			ControlSetpoints: []float64{8, 14},
+			ControlGains:     []campaign.PIDGains{{Kp: 0.12, Ki: 0.004, Kd: 0.02}},
+		},
+	}
+	sum, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 2 {
+		t.Fatalf("sweep points %d, want 2 (setpoints x one gain triple)", len(sum.Points))
+	}
+	if sum.Completed != 4 || sum.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want 4/0", sum.Completed, sum.Failed)
+	}
+	labels := make(map[string]*campaign.PointAggregate)
+	for _, pt := range sum.Points {
+		labels[pt.Label] = pt
+	}
+	pt, ok := labels["fleet=1x2 setpoint=8°C gains=0.12/0.004/0.02"]
+	if !ok {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		t.Fatalf("missing control point label, have %v", keys)
+	}
+	for _, p := range sum.Points {
+		if p.ControlledRuns != 2 {
+			t.Errorf("%s: controlled runs %d, want 2", p.Label, p.ControlledRuns)
+		}
+		if p.MeanEnvelopeFraction < 0 || p.MeanEnvelopeFraction > 1 {
+			t.Errorf("%s: mean envelope fraction %v outside [0,1]", p.Label, p.MeanEnvelopeFraction)
+		}
+	}
+	_ = pt
+
+	// An open-loop campaign must pool zero controlled replicates.
+	open, err := campaign.Run(context.Background(), fastSpec("control-sweep-open", 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := open.Points[0].ControlledRuns; n != 0 {
+		t.Errorf("open-loop campaign reports %d controlled runs, want 0", n)
+	}
+}
+
 // TestRepSeedsDistinct guards the replicate-independence assumption: the
 // <seed>/rep/<i> derivation must give every replicate below 1024 its own
 // weather and failure sample path. A first draw collision on any stream

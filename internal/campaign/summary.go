@@ -39,6 +39,11 @@ type RunSummary struct {
 	TotalCycles            uint64
 	WrongHashes            int
 	TentEnergyKWh          float64
+	// Controlled marks a closed-loop replicate; EnvelopeFraction is then
+	// its share of control ticks spent inside the allowable envelope (the
+	// E14 headline, 0 for open-loop runs).
+	Controlled       bool
+	EnvelopeFraction float64
 	// Series holds the envelope inputs, resampled to the campaign grid.
 	Series map[string]*timeseries.Series
 }
@@ -57,6 +62,10 @@ func Summarize(r *core.Results, grid time.Duration) (RunSummary, error) {
 		WrongHashes:   len(r.WrongHashes),
 		TentEnergyKWh: float64(r.TentEnergy),
 		Series:        make(map[string]*timeseries.Series, len(envelopeSeries)),
+	}
+	if r.Control != nil {
+		rs.Controlled = true
+		rs.EnvelopeFraction = r.Control.EnvelopeFraction()
 	}
 	for _, es := range envelopeSeries {
 		var src *timeseries.Series
@@ -129,6 +138,11 @@ type PointAggregate struct {
 	// WrongHash pools wrong-md5sum incidents over workload cycles.
 	WrongHash stats.Rate
 
+	// ControlledRuns counts closed-loop replicates;
+	// MeanEnvelopeFraction averages their envelope residency.
+	ControlledRuns       int
+	MeanEnvelopeFraction float64
+
 	MeanEnergyKWh float64
 	Envelopes     []Envelope
 	Power         []PowerRow
@@ -165,7 +179,7 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 	agg := &PointAggregate{Label: label}
 	env := make(map[string]map[int64]*envBucket, len(envelopeSeries))
 	envRuns := make(map[string]int, len(envelopeSeries))
-	var energySum float64
+	var energySum, envFracSum float64
 	for _, rs := range sums {
 		if rs.Err != "" {
 			agg.Failed++
@@ -183,6 +197,10 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 			Events: rs.WrongHashes, Trials: int(rs.TotalCycles),
 		})
 		energySum += rs.TentEnergyKWh
+		if rs.Controlled {
+			agg.ControlledRuns++
+			envFracSum += rs.EnvelopeFraction
+		}
 		for name, series := range rs.Series {
 			if series.Len() == 0 {
 				continue
@@ -215,6 +233,9 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 		return agg
 	}
 	agg.MeanEnergyKWh = energySum / float64(agg.Completed)
+	if agg.ControlledRuns > 0 {
+		agg.MeanEnvelopeFraction = envFracSum / float64(agg.ControlledRuns)
+	}
 
 	rng := simkernel.NewRNG(s.Seed + "/campaign-bootstrap/" + label)
 	if lo, hi, err := stats.BootstrapRateMeanCI(rng, "tent-rate", agg.TentPerRep, s.BootstrapIters); err == nil {

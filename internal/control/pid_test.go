@@ -1,0 +1,124 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// plant is a toy first-order tent: damper position u cools the inside
+// toward outside, closed damper warms it toward outside+lift.
+type plant struct {
+	inside, outside, lift float64
+}
+
+func (p *plant) step(u float64) float64 {
+	target := p.outside + (1-u)*p.lift
+	p.inside += 0.2 * (target - p.inside)
+	return p.inside
+}
+
+func TestPIDConvergesOnToyPlant(t *testing.T) {
+	pid := PID{Kp: 0.3, Ki: 0.05, Kd: 0.05, Min: 0, Max: 1}
+	pl := &plant{inside: 25, outside: -10, lift: 30}
+	const setpoint = 12.0
+	u := 0.0
+	for i := 0; i < 400; i++ {
+		pl.step(u)
+		u = pid.Update(pl.inside - setpoint)
+	}
+	if math.Abs(pl.inside-setpoint) > 0.5 {
+		t.Fatalf("inside %v after 400 ticks, want within 0.5 of %v", pl.inside, setpoint)
+	}
+}
+
+func TestPIDOutputClamped(t *testing.T) {
+	pid := PID{Kp: 1, Ki: 0.5, Min: 0, Max: 1}
+	for i := 0; i < 50; i++ {
+		if u := pid.Update(100); u < 0 || u > 1 {
+			t.Fatalf("output %v escaped [0,1]", u)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if u := pid.Update(-100); u < 0 || u > 1 {
+			t.Fatalf("output %v escaped [0,1]", u)
+		}
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	// Saturate high for a long time, then reverse the error: a wound-up
+	// integrator would keep the output pinned high for many ticks; the
+	// conditional integrator must let it leave saturation immediately.
+	pid := PID{Kp: 0.1, Ki: 0.01, Min: 0, Max: 1}
+	for i := 0; i < 1000; i++ {
+		pid.Update(50)
+	}
+	ticks := 0
+	for pid.Update(-5) >= 1 {
+		ticks++
+		if ticks > 5 {
+			t.Fatalf("output still saturated %d ticks after error reversal", ticks)
+		}
+	}
+}
+
+func TestPIDObserveDoesNotIntegrate(t *testing.T) {
+	a := PID{Kp: 0.2, Ki: 0.05, Kd: 0.1, Min: 0, Max: 1}
+	b := PID{Kp: 0.2, Ki: 0.05, Kd: 0.1, Min: 0, Max: 1}
+	a.Update(2)
+	b.Update(2)
+	for i := 0; i < 100; i++ {
+		a.Observe(3)
+	}
+	b.Observe(3)
+	if got, want := a.Update(1), b.Update(1); got != want {
+		t.Fatalf("100 Observes changed state: %v != %v", got, want)
+	}
+}
+
+func TestPIDBumpless(t *testing.T) {
+	pid := PID{Kp: 0.2, Ki: 0.05, Min: 0, Max: 1}
+	for i := 0; i < 200; i++ {
+		pid.Update(30) // wind toward saturation
+	}
+	pid.Bumpless(0.4, 0)
+	if u := pid.Update(0); math.Abs(u-0.4) > 1e-9 {
+		t.Fatalf("post-handback output %v, want 0.4", u)
+	}
+}
+
+func TestPIDDeterministic(t *testing.T) {
+	run := func() []float64 {
+		pid := PID{Kp: 0.12, Ki: 0.004, Kd: 0.02, Min: 0, Max: 1}
+		var out []float64
+		for i := 0; i < 500; i++ {
+			out = append(out, pid.Update(8*math.Sin(float64(i)/13)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d: %v != %v across identical replays", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHysteresisDeadband(t *testing.T) {
+	h := Hysteresis{Deadband: 1.5, Low: 0, High: 1}
+	if u := h.Update(0); u != 0 {
+		t.Fatalf("initial output %v, want Low", u)
+	}
+	if u := h.Update(2); u != 1 {
+		t.Fatalf("above deadband: %v, want High", u)
+	}
+	// Inside the deadband the previous output holds.
+	for _, e := range []float64{1, 0, -1, 1.4} {
+		if u := h.Update(e); u != 1 {
+			t.Fatalf("error %v inside deadband flipped output to %v", e, u)
+		}
+	}
+	if u := h.Update(-2); u != 0 {
+		t.Fatalf("below deadband: %v, want Low", u)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"time"
 
+	"frostlab/internal/chaos"
+	"frostlab/internal/control"
 	"frostlab/internal/failure"
 	"frostlab/internal/hardware"
 	"frostlab/internal/thermal"
@@ -90,6 +92,16 @@ type Config struct {
 	// RepairDelay is how long a crashed host waits for inspection and
 	// reset (§4.2.1: the Saturday-morning failure was reset on Monday).
 	RepairDelay time.Duration
+	// Control enables the closed-loop free-cooling control plane (§5
+	// outlook): the R/I/B/F calendar is replaced by a ventilation
+	// controller on the continuous damper, with duty cycling and the
+	// envelope/dew-point supervisor. Nil reproduces the paper's open-loop
+	// run byte for byte.
+	Control *control.Config
+	// ActuatorChaos injects damper faults (stuck, lagging) into the
+	// control plane; ignored when Control is nil. An empty Seed derives
+	// one from the experiment seed.
+	ActuatorChaos *chaos.ActuatorSpec
 }
 
 // DefaultConfig returns the reference reproduction configuration.
@@ -155,6 +167,16 @@ func (c Config) Validate() error {
 	}
 	if err := c.Disk.Validate(); err != nil {
 		return err
+	}
+	if c.Control != nil {
+		if err := c.Control.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.ActuatorChaos != nil {
+		if err := c.ActuatorChaos.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

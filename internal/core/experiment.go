@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"frostlab/internal/control"
 	"frostlab/internal/failure"
 	"frostlab/internal/hardware"
 	"frostlab/internal/monitor"
@@ -39,6 +40,8 @@ const (
 	EventReadout       EventKind = "lascar-readout"
 	EventDiskFailure   EventKind = "disk-failure"
 	EventStorageLost   EventKind = "storage-lost"
+	EventDutyChange    EventKind = "duty-change"
+	EventControlFallback EventKind = "control-fallback"
 )
 
 // Event is one entry of the experiment log.
@@ -79,12 +82,21 @@ type hostState struct {
 	chipGlitchSeen bool
 	chipLost       bool
 
-	// Hot-path caches, fixed for the run: the thermal response at the
-	// configured duty cycle, the per-disk failure-engine IDs, and the
-	// " OK <reference md5>\n" tail of the healthy workload log line.
+	// Hot-path caches: the thermal response and draw at the current duty
+	// level (fixed for the run unless the control plane switches levels),
+	// the per-disk failure-engine IDs, and the " OK <reference md5>\n"
+	// tail of the healthy workload log line.
 	profile  thermal.Profile
+	power    units.Watts
 	diskIDs  []string
 	okSuffix []byte
+	// profiles and powers are the per-duty-level variants of profile and
+	// power, precomputed by setupControl; unused in open-loop runs.
+	profiles [control.NumDutyLevels]thermal.Profile
+	powers   [control.NumDutyLevels]units.Watts
+	// migrated marks a tent host whose workload cycles currently run on
+	// its basement twin (control.DutyMigrate).
+	migrated bool
 	// lineBuf is the host's reusable log-line scratch buffer. FileStore
 	// copies appended bytes, so the buffer can be re-filled every event.
 	lineBuf []byte
@@ -156,6 +168,9 @@ type Experiment struct {
 	// simulated timeline as spans and instants (see WithTracer).
 	met    expMetrics
 	tracer *telemetry.Tracer
+
+	// ctl is the closed-loop control plane, nil in open-loop runs.
+	ctl *ctlState
 }
 
 // New builds an experiment from the configuration: the paper's reference
@@ -222,6 +237,7 @@ func New(cfg Config) (*Experiment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: host %s thermal profile: %w", h.ID, err)
 		}
+		hs.power = h.Spec.Power(cfg.DutyCycle)
 		for i := 0; i < h.Spec.Layout.DiskCount(); i++ {
 			hs.disks = append(hs.disks, sensors.NewDisk(rng, h.ID, i))
 			hs.diskIDs = append(hs.diskIDs, fmt.Sprintf("%s/%d", h.ID, i))
@@ -234,6 +250,11 @@ func New(cfg Config) (*Experiment, error) {
 	sort.Strings(e.order)
 	for i, id := range e.order {
 		e.hosts[id].tid = i + 1
+	}
+	if cfg.Control != nil {
+		if err := e.setupControl(); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -264,17 +285,19 @@ func (e *Experiment) environment(hs *hostState) (units.Celsius, units.RelHumidit
 func (e *Experiment) tentPower() units.Watts { return e.tentW }
 
 // recomputeTentPower refreshes the cached tent power sum. It must be called
-// after every transition that changes which hosts count: install, disk
-// array loss, transient failure, repair, relocation. The loop walks the
-// fleet in order and performs the same additions as the old per-EnvStep
-// hardware.TotalPower pass, so the cached value is bit-identical to
-// recomputing from scratch.
+// after every transition that changes which hosts count (install, disk
+// array loss, transient failure, repair, relocation) or how much they draw
+// (a control-plane duty level change). The loop walks the fleet in order
+// and performs the same additions as the old per-EnvStep
+// hardware.TotalPower pass — hs.power caches Spec.Power at the host's
+// current duty — so the cached value is bit-identical to recomputing from
+// scratch.
 func (e *Experiment) recomputeTentPower() {
 	var sum units.Watts
 	for _, id := range e.order {
 		hs := e.hosts[id]
 		if hs.installed && hs.online && !hs.relocated && hs.host.Location == hardware.Tent {
-			sum += hs.host.Spec.Power(e.cfg.DutyCycle)
+			sum += hs.power
 		}
 	}
 	e.tentW = sum
@@ -351,15 +374,26 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 		return nil, err
 	}
 
-	// Tent modifications.
-	for m, at := range cfg.Modifications {
-		m := m
-		if at.Before(cfg.Start) || at.After(cfg.End) {
-			continue
+	// Tent modifications — the paper's open-loop calendar. A closed-loop
+	// run owns the ladder through its damper instead; the calendar dates
+	// survive only as the supervisor's fallback schedule.
+	if e.ctl == nil {
+		for m, at := range cfg.Modifications {
+			m := m
+			if at.Before(cfg.Start) || at.After(cfg.End) {
+				continue
+			}
+			if _, err := e.sched.At(at, func(now time.Time) {
+				e.tent.Apply(m)
+				e.logEvent(now, EventModification, "tent", fmt.Sprintf("%v applied (%s)", m, modName(m)))
+			}); err != nil {
+				return nil, err
+			}
 		}
-		if _, err := e.sched.At(at, func(now time.Time) {
-			e.tent.Apply(m)
-			e.logEvent(now, EventModification, "tent", fmt.Sprintf("%v applied (%s)", m, modName(m)))
+	} else {
+		every := e.ctl.ctl.Config().Every
+		if _, err := e.sched.Periodic(cfg.Start.Add(every), every, nil, func(now time.Time) {
+			e.controlTick(now)
 		}); err != nil {
 			return nil, err
 		}
@@ -450,6 +484,16 @@ func (e *Experiment) installHost(now time.Time, hs *hostState) error {
 	hs.installed = true
 	hs.online = true
 	hs.okSuffix = []byte(" OK " + runner.Reference().String() + "\n")
+	if e.ctl != nil {
+		// A host installed mid-run joins at the duty level currently in
+		// force, not the configured baseline.
+		idx := int(e.ctl.level)
+		hs.profile = hs.profiles[idx]
+		hs.power = hs.powers[idx]
+		if hs.host.Location == hardware.Tent {
+			hs.migrated = e.ctl.level == control.DutyMigrate
+		}
+	}
 	e.recomputeTentPower()
 	if hs.host.Location == hardware.Tent {
 		hs.cpuSeries = timeseries.New("cpu_"+hs.host.ID, "°C")
@@ -473,6 +517,13 @@ func (e *Experiment) installHost(now time.Time, hs *hostState) error {
 // memory corruption the real pipeline runs and the forensics are recorded.
 func (e *Experiment) workloadCycle(now time.Time, hs *hostState) {
 	if !hs.online {
+		return
+	}
+	if hs.migrated {
+		// The cycle runs on the basement twin instead (DutyMigrate); it
+		// counts toward the control plane's migration ledger, not toward
+		// this host's §4 statistics.
+		e.ctl.migratedCycles++
 		return
 	}
 	hs.cycles++

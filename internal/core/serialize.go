@@ -140,6 +140,42 @@ type resultsDTO struct {
 	MeterLastReadingW    float64 `json:"meter_last_reading_w"`
 	SMARTLongTestsPassed int     `json:"smart_pass"`
 	SMARTLongTestsFailed int     `json:"smart_fail"`
+
+	// Control is additive: open-loop files (and files written before the
+	// control plane existed) simply omit it.
+	Control *controlDTO `json:"control,omitempty"`
+}
+
+type controlStatsDTO struct {
+	Ticks         int    `json:"ticks"`
+	InBand        int    `json:"in_band"`
+	GuardTrips    int    `json:"guard_trips"`
+	GuardTicks    int    `json:"guard_ticks"`
+	EnvelopeTicks int    `json:"envelope_override_ticks"`
+	FallbackTicks int    `json:"fallback_ticks"`
+	StuckTicks    int    `json:"stuck_ticks"`
+	DutyTicks     [4]int `json:"duty_ticks"`
+	DutyChanges   int    `json:"duty_changes"`
+}
+
+type controlDTO struct {
+	Mode        string  `json:"mode"`
+	SetpointC   float64 `json:"setpoint_c"`
+	EnvTempLowC  float64 `json:"env_temp_low_c"`
+	EnvTempHighC float64 `json:"env_temp_high_c"`
+	EnvDewMaxC   float64 `json:"env_dew_max_c"`
+	EnvRHMax     float64 `json:"env_rh_max"`
+
+	Stats           controlStatsDTO `json:"stats"`
+	MigratedCycles  uint64          `json:"migrated_cycles"`
+	EnvelopeTicks   int             `json:"envelope_ticks"`
+	EnvelopeInTicks int             `json:"envelope_in_ticks"`
+
+	Setpoints  seriesDTO   `json:"setpoints"`
+	PV         seriesDTO   `json:"pv"`
+	Damper     seriesDTO   `json:"damper"`
+	Duty       seriesDTO   `json:"duty"`
+	GuardTrips []time.Time `json:"guard_trips,omitempty"`
 }
 
 // modificationNames maps serialization keys to modifications.
@@ -209,6 +245,35 @@ func SaveResults(w io.Writer, r *Results) error {
 	}
 	for _, inc := range r.WrongHashes {
 		d.WrongHashes = append(d.WrongHashes, hashIncidentDTO(inc))
+	}
+	if cr := r.Control; cr != nil {
+		d.Control = &controlDTO{
+			Mode:         cr.Mode,
+			SetpointC:    float64(cr.Setpoint),
+			EnvTempLowC:  float64(cr.Envelope.TempLow),
+			EnvTempHighC: float64(cr.Envelope.TempHigh),
+			EnvDewMaxC:   float64(cr.Envelope.DewPointMax),
+			EnvRHMax:     float64(cr.Envelope.RHMax),
+			Stats: controlStatsDTO{
+				Ticks:         cr.Stats.Ticks,
+				InBand:        cr.Stats.InBand,
+				GuardTrips:    cr.Stats.GuardTrips,
+				GuardTicks:    cr.Stats.GuardTicks,
+				EnvelopeTicks: cr.Stats.EnvelopeTicks,
+				FallbackTicks: cr.Stats.FallbackTicks,
+				StuckTicks:    cr.Stats.StuckTicks,
+				DutyTicks:     cr.Stats.DutyTicks,
+				DutyChanges:   cr.Stats.DutyChanges,
+			},
+			MigratedCycles:  cr.MigratedCycles,
+			EnvelopeTicks:   cr.EnvelopeTicks,
+			EnvelopeInTicks: cr.EnvelopeInTicks,
+			Setpoints:       seriesToDTO(cr.Setpoints),
+			PV:              seriesToDTO(cr.PV),
+			Damper:          seriesToDTO(cr.Damper),
+			Duty:            seriesToDTO(cr.Duty),
+			GuardTrips:      cr.GuardTrips,
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -312,6 +377,44 @@ func LoadResults(rd io.Reader) (*Results, error) {
 	}
 	for _, inc := range d.WrongHashes {
 		out.WrongHashes = append(out.WrongHashes, HashIncident(inc))
+	}
+	if cd := d.Control; cd != nil {
+		cr := &ControlReport{
+			Mode:     cd.Mode,
+			Setpoint: units.Celsius(cd.SetpointC),
+			Envelope: units.AshraeEnvelope{
+				TempLow:     units.Celsius(cd.EnvTempLowC),
+				TempHigh:    units.Celsius(cd.EnvTempHighC),
+				DewPointMax: units.Celsius(cd.EnvDewMaxC),
+				RHMax:       units.RelHumidity(cd.EnvRHMax),
+			},
+			MigratedCycles:  cd.MigratedCycles,
+			EnvelopeTicks:   cd.EnvelopeTicks,
+			EnvelopeInTicks: cd.EnvelopeInTicks,
+			GuardTrips:      cd.GuardTrips,
+		}
+		cr.Stats.Ticks = cd.Stats.Ticks
+		cr.Stats.InBand = cd.Stats.InBand
+		cr.Stats.GuardTrips = cd.Stats.GuardTrips
+		cr.Stats.GuardTicks = cd.Stats.GuardTicks
+		cr.Stats.EnvelopeTicks = cd.Stats.EnvelopeTicks
+		cr.Stats.FallbackTicks = cd.Stats.FallbackTicks
+		cr.Stats.StuckTicks = cd.Stats.StuckTicks
+		cr.Stats.DutyTicks = cd.Stats.DutyTicks
+		cr.Stats.DutyChanges = cd.Stats.DutyChanges
+		if cr.Setpoints, err = seriesFromDTO(cd.Setpoints); err != nil {
+			return nil, err
+		}
+		if cr.PV, err = seriesFromDTO(cd.PV); err != nil {
+			return nil, err
+		}
+		if cr.Damper, err = seriesFromDTO(cd.Damper); err != nil {
+			return nil, err
+		}
+		if cr.Duty, err = seriesFromDTO(cd.Duty); err != nil {
+			return nil, err
+		}
+		out.Control = cr
 	}
 	return out, nil
 }

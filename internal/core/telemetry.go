@@ -21,6 +21,7 @@ type expMetrics struct {
 	monitorRounds  telemetry.Counter // in-process collection rounds
 	hostCollects   telemetry.Counter // host-rounds that produced data
 	hostMisses     telemetry.Counter // host-rounds lost to offline hosts
+	controlTicks   telemetry.Counter // closed-loop control ticks
 }
 
 // WithTracer attaches a span tracer to the experiment and returns it.
@@ -102,4 +103,24 @@ func (e *Experiment) InstrumentTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("frostlab_monitor_coverage_ratio",
 		"Fleet-wide fraction of host-rounds that produced data.",
 		func() float64 { return e.gaps.Coverage() })
+
+	counter("frostlab_control_ticks_total",
+		"Closed-loop control ticks executed (0 in open-loop runs).", &e.met.controlTicks)
+	if e.ctl != nil {
+		reg.GaugeFunc("frostlab_control_damper_position",
+			"Ventilation damper position across the R/I/B/F ladder (0 closed, 1 open).",
+			func() float64 { return e.ctl.ctl.Damper() })
+		reg.GaugeFunc("frostlab_control_duty_level",
+			"Duty-cycling level in force (0 normal, 1 boost, 2 throttle, 3 migrate).",
+			func() float64 { return float64(e.ctl.level) })
+		reg.CounterFunc("frostlab_control_guard_trips_total",
+			"Dew-point condensation guard onsets.",
+			func() float64 { return float64(e.ctl.ctl.Stats().GuardTrips) })
+		reg.CounterFunc("frostlab_control_fallback_ticks_total",
+			"Control ticks spent on the stuck-damper open-loop fallback.",
+			func() float64 { return float64(e.ctl.ctl.Stats().FallbackTicks) })
+		reg.CounterFunc("frostlab_control_migrated_cycles_total",
+			"Tent workload cycles absorbed by basement twins under DutyMigrate.",
+			func() float64 { return float64(e.ctl.migratedCycles) })
+	}
 }

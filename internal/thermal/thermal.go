@@ -102,8 +102,16 @@ func DefaultTentConfig() TentConfig {
 // Tent is the roof-terrace enclosure. Advance it with Step; read it with
 // Air. The zero value is unusable — use NewTent.
 type Tent struct {
-	cfg  TentConfig
-	mods map[Modification]bool
+	cfg TentConfig
+
+	// vent holds the fractional application level of each modification,
+	// indexed by Modification. The paper's discrete events set a level to
+	// exactly 1 (Apply); the closed-loop controller sweeps all four levels
+	// continuously through SetVentilation. Level 0 means "as shipped".
+	vent [4]float64
+	// damper is the last commanded continuous position (SetVentilation);
+	// Apply does not change it.
+	damper float64
 
 	insideTemp  units.Celsius
 	insideVapor float64 // hPa, tracks the inside absolute moisture
@@ -119,34 +127,91 @@ func NewTent(cfg TentConfig) (*Tent, error) {
 	if cfg.MoistureExchangeTimeConst <= 0 {
 		return nil, fmt.Errorf("thermal: tent needs positive moisture exchange time constant")
 	}
-	return &Tent{cfg: cfg, mods: make(map[Modification]bool)}, nil
+	return &Tent{cfg: cfg}, nil
 }
 
 // Name implements Environment.
 func (t *Tent) Name() string { return "tent" }
 
-// Apply enables a modification. Applying one twice is a no-op; they are
-// never reverted (the paper only ever opened the tent up further).
-func (t *Tent) Apply(m Modification) { t.mods[m] = true }
+// Apply enables a modification fully. Applying one twice is a no-op; the
+// discrete events are never reverted (the paper only ever opened the tent
+// up further).
+func (t *Tent) Apply(m Modification) { t.vent[m] = 1 }
 
-// Applied reports whether the modification is active.
-func (t *Tent) Applied(m Modification) bool { return t.mods[m] }
+// Applied reports whether the modification is fully active.
+func (t *Tent) Applied(m Modification) bool { return t.vent[m] >= 1 }
+
+// Level returns the modification's fractional application level in [0, 1].
+func (t *Tent) Level(m Modification) float64 { return t.vent[m] }
+
+// SetVentilation maps a continuous damper position in [0, 1] onto the
+// R/I/B/F ladder (see Ladder) and applies the resulting fractional levels,
+// overwriting any previously applied discrete modifications. Position 0 is
+// the tent as shipped; position 1 is the paper's fully modified tent. This
+// is the actuator surface of the closed-loop controller: the paper's four
+// one-way calendar events become two endpoints of one reversible axis.
+func (t *Tent) SetVentilation(pos float64) {
+	t.damper = clamp01(pos)
+	t.vent = Ladder(t.damper)
+}
+
+// Ventilation returns the last position given to SetVentilation. Discrete
+// Apply events do not move it.
+func (t *Tent) Ventilation() float64 { return t.damper }
+
+// Ladder maps a continuous damper position in [0, 1] to fractional
+// application levels of the four envelope modifications, indexed by
+// Modification. The rungs open in the paper's calendar order — R, I, B,
+// F — with each quarter of damper travel blending in the next rung, so
+// positions 0.25, 0.5, 0.75 and 1 reproduce the four discrete states of
+// the paper's ladder exactly (see the bitwise endpoint test).
+func Ladder(pos float64) [4]float64 {
+	pos = clamp01(pos)
+	var mix [4]float64
+	order := [4]Modification{ReflectiveFoil, RemoveInnerTent, OpenBottom, InstallFan}
+	for i, m := range order {
+		f := pos*4 - float64(i)
+		mix[m] = clamp01(f)
+	}
+	return mix
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
 
 // conductance returns the current envelope heat-loss coefficient in W/K
-// for the given outside wind.
+// for the given outside wind. Fully applied modifications (level exactly 1)
+// take the same float operations as the original discrete model, so a
+// ladder endpoint is bit-identical to the corresponding Apply sequence;
+// fractional levels interpolate each rung's effect linearly.
 func (t *Tent) conductance(wind units.MetersPerSecond) float64 {
 	g := t.cfg.BaseConductance
 	windG := t.cfg.WindConductancePerMS
-	if t.mods[RemoveInnerTent] {
+	if f := t.vent[RemoveInnerTent]; f >= 1 {
 		g *= 1.45 // one fabric layer instead of two
 		windG *= 2
+	} else if f > 0 {
+		g *= 1 + f*0.45
+		windG *= 1 + f
 	}
-	if t.mods[OpenBottom] {
+	if f := t.vent[OpenBottom]; f >= 1 {
 		g *= 1.5 // floor-level cross-draught
 		windG *= 2.5
+	} else if f > 0 {
+		g *= 1 + f*0.5
+		windG *= 1 + f*1.5
 	}
-	if t.mods[InstallFan] {
+	if f := t.vent[InstallFan]; f >= 1 {
 		g += 120 // forced convection across the envelope openings
+	} else if f > 0 {
+		g += f * 120
 	}
 	return g + windG*float64(wind)
 }
@@ -154,8 +219,10 @@ func (t *Tent) conductance(wind units.MetersPerSecond) float64 {
 // solarGain returns the current solar heat input in watts.
 func (t *Tent) solarGain(irr units.WattsPerSquareMeter) float64 {
 	a := t.cfg.SolarAperture
-	if t.mods[ReflectiveFoil] {
+	if f := t.vent[ReflectiveFoil]; f >= 1 {
 		a *= 0.35 // the rescue-sheet cover reflects most direct sun
+	} else if f > 0 {
+		a *= 1 - f*0.65
 	}
 	return a * float64(irr)
 }

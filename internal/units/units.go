@@ -167,6 +167,85 @@ func CondensationRisk(airT Celsius, rh RelHumidity, surfaceT Celsius) bool {
 	return surfaceT < dp
 }
 
+// DewPointMargin returns how far a surface at surfaceT sits above the dew
+// point of air at (airT, rh): positive margins are condensation-safe,
+// negative margins mean the surface is already collecting water. It is the
+// quantitative form of CondensationRisk — the §5 argument that powered
+// equipment "stays warmer than the intake air" is the claim that this
+// margin stays positive — and the free-cooling control plane regulates on
+// it: a guard trips when the margin shrinks below a configured minimum,
+// before condensation actually begins.
+func DewPointMargin(airT Celsius, rh RelHumidity, surfaceT Celsius) (Celsius, error) {
+	dp, err := DewPoint(airT, rh)
+	if err != nil {
+		return 0, err
+	}
+	return surfaceT - dp, nil
+}
+
+// AshraeEnvelope is an allowable operating box in the psychrometric plane,
+// in the style of the ASHRAE datacom classes: an intake temperature band
+// plus moisture ceilings expressed as a maximum dew point and a maximum
+// relative humidity. The paper's tent spends weeks outside every published
+// class — that is the point of the experiment — so frostlab ships both the
+// standard A2 allowable box and a frost-extended box that admits the
+// sub-zero operation the paper demonstrates.
+type AshraeEnvelope struct {
+	// TempLow and TempHigh bound the allowable intake temperature.
+	TempLow, TempHigh Celsius
+	// DewPointMax caps the intake air's dew point.
+	DewPointMax Celsius
+	// RHMax caps the intake relative humidity.
+	RHMax RelHumidity
+}
+
+// AshraeA2Allowable is the ASHRAE class A2 allowable envelope: 10–35 °C,
+// dew point at most 21 °C, relative humidity at most 80 %.
+var AshraeA2Allowable = AshraeEnvelope{TempLow: 10, TempHigh: 35, DewPointMax: 21, RHMax: 80}
+
+// FrostAllowable is the frost-extended allowable box frostlab's control
+// plane defends by default: it admits near-freezing intake (the tent's
+// normal winter operating point) while still refusing the deep-frost and
+// near-saturation corners where the paper's own failures clustered.
+var FrostAllowable = AshraeEnvelope{TempLow: 2, TempHigh: 30, DewPointMax: 17, RHMax: 85}
+
+// Validate checks that the box is well-formed.
+func (e AshraeEnvelope) Validate() error {
+	if !e.TempLow.Valid() || !e.TempHigh.Valid() || e.TempHigh <= e.TempLow {
+		return fmt.Errorf("units: envelope temperature band [%v, %v] invalid", e.TempLow, e.TempHigh)
+	}
+	if !e.DewPointMax.Valid() {
+		return fmt.Errorf("units: envelope dew point cap %v: %w", e.DewPointMax, ErrOutOfRange)
+	}
+	if !e.RHMax.Valid() {
+		return fmt.Errorf("units: envelope RH cap %v: %w", e.RHMax, ErrOutOfRange)
+	}
+	return nil
+}
+
+// Contains reports whether intake air at (t, rh) lies inside the allowable
+// box: temperature within the band, humidity at or below the RH cap, and
+// dew point at or below the dew-point cap. Air whose temperature is outside
+// the physical range is never allowable.
+func (e AshraeEnvelope) Contains(t Celsius, rh RelHumidity) bool {
+	if t < e.TempLow || t > e.TempHigh {
+		return false
+	}
+	if rh.Clamp() > e.RHMax {
+		return false
+	}
+	dp, err := DewPoint(t, rh)
+	if err != nil {
+		return false
+	}
+	return dp <= e.DewPointMax
+}
+
+// String describes the box, e.g. "[10.0°C, 35.0°C], dp ≤ 21.0°C, rh ≤ 80.0%RH".
+func (e AshraeEnvelope) String() string {
+	return fmt.Sprintf("[%v, %v], dp ≤ %v, rh ≤ %v", e.TempLow, e.TempHigh, e.DewPointMax, e.RHMax)
+}
+
 // WindChill returns the apparent temperature using the North American /
 // UK Met Office wind chill index (valid for t <= 10 °C and wind >= 1.34 m/s;
 // outside that envelope the air temperature itself is returned). The tent

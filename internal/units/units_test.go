@@ -305,3 +305,114 @@ func BenchmarkRelHumidityAt(b *testing.B) {
 		_ = RelHumidityAt(Celsius(float64(i%30)-25), 80, 5)
 	}
 }
+
+func TestDewPointMargin(t *testing.T) {
+	cases := []struct {
+		name     string
+		airT     Celsius
+		rh       RelHumidity
+		surfaceT Celsius
+		wantSign int // -1 condensing, +1 safe, 0 = near zero (|m| < 0.1)
+	}{
+		{"warm surface in moist air", 5, 80, 10, +1},
+		{"cold gear in moist spring air", 12, 95, 5, -1},
+		{"saturated air, surface at air temp", 10, 100, 10, 0},
+		{"sub-zero air, surface warmer", -15, 85, -5, +1},
+		{"sub-zero air, surface colder", -5, 95, -15, -1},
+		{"bone-dry air is always safe", 20, 0, -40, +1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := DewPointMargin(c.airT, c.rh, c.surfaceT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case c.wantSign > 0 && m <= 0:
+				t.Errorf("margin = %v, want positive", m)
+			case c.wantSign < 0 && m >= 0:
+				t.Errorf("margin = %v, want negative", m)
+			case c.wantSign == 0 && math.Abs(float64(m)) > 0.1:
+				t.Errorf("margin = %v, want ≈ 0", m)
+			}
+		})
+	}
+}
+
+func TestDewPointMarginMatchesCondensationRisk(t *testing.T) {
+	// The sign of the margin and the boolean predicate must agree
+	// everywhere in the experiment's operating range.
+	for temp := -30.0; temp <= 30; temp += 2.5 {
+		for rh := 5.0; rh <= 100; rh += 5 {
+			for ds := -10.0; ds <= 10; ds += 2.5 {
+				airT, h, surf := Celsius(temp), RelHumidity(rh), Celsius(temp+ds)
+				m, err := DewPointMargin(airT, h, surf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := m < 0, CondensationRisk(airT, h, surf); got != want {
+					t.Fatalf("at %v %v surface %v: margin %v sign disagrees with CondensationRisk %v",
+						airT, h, surf, m, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDewPointMarginInvalidTemperature(t *testing.T) {
+	if _, err := DewPointMargin(-300, 50, 0); err == nil {
+		t.Fatal("want error below absolute zero")
+	}
+}
+
+func TestAshraeEnvelopeContains(t *testing.T) {
+	cases := []struct {
+		name string
+		env  AshraeEnvelope
+		t    Celsius
+		rh   RelHumidity
+		want bool
+	}{
+		{"A2 center", AshraeA2Allowable, 22, 50, true},
+		{"A2 low edge", AshraeA2Allowable, 10, 50, true},
+		{"A2 below band", AshraeA2Allowable, 9.9, 50, false},
+		{"A2 high edge", AshraeA2Allowable, 35, 30, true},
+		{"A2 above band", AshraeA2Allowable, 35.1, 30, false},
+		{"A2 RH cap", AshraeA2Allowable, 22, 81, false},
+		{"A2 dew point cap", AshraeA2Allowable, 34, 55, false}, // dp ≈ 23.8 > 21
+		{"frost box admits near-freezing", FrostAllowable, 2.5, 60, true},
+		{"frost box refuses deep frost", FrostAllowable, -6, 60, false},
+		{"frost box refuses saturation", FrostAllowable, 5, 100, false},
+		{"frost box sub-zero never allowable", FrostAllowable, -0.1, 40, false},
+		{"saturated at the cold edge", FrostAllowable, 2, 85, true}, // dp ≈ -0.2 ≤ 17
+		{"impossible temperature", FrostAllowable, -400, 50, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.env.Contains(c.t, c.rh); got != c.want {
+				t.Errorf("%v.Contains(%v, %v) = %v, want %v", c.env, c.t, c.rh, got, c.want)
+			}
+		})
+	}
+}
+
+func TestAshraeEnvelopeValidate(t *testing.T) {
+	if err := AshraeA2Allowable.Validate(); err != nil {
+		t.Fatalf("A2 allowable invalid: %v", err)
+	}
+	if err := FrostAllowable.Validate(); err != nil {
+		t.Fatalf("frost allowable invalid: %v", err)
+	}
+	bad := []AshraeEnvelope{
+		{TempLow: 10, TempHigh: 10, DewPointMax: 21, RHMax: 80}, // empty band
+		{TempLow: 20, TempHigh: 10, DewPointMax: 21, RHMax: 80}, // inverted
+		{TempLow: -300, TempHigh: 10, DewPointMax: 21, RHMax: 80},
+		{TempLow: 10, TempHigh: 35, DewPointMax: -300, RHMax: 80},
+		{TempLow: 10, TempHigh: 35, DewPointMax: 21, RHMax: 101},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: %v validated, want error", i, e)
+		}
+	}
+}
