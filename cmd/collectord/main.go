@@ -18,11 +18,18 @@
 //	           [-keyseed winter0910] [-every 20m] [-rounds 0] [-dir mirror/]
 //	           [-timeout 10s] [-round-timeout 5m] [-retries 3] [-backoff 2s]
 //	           [-breaker-trip 3] [-breaker-cooldown 3] [-http 127.0.0.1:8080]
-//	           [-debug-addr 127.0.0.1:6060]
+//	           [-debug-addr 127.0.0.1:6060] [-mirror-retain 0] [-tsdb-dir tsdb/]
 //
 // The dashboard (-http) serves /metrics and /buildinfo alongside the
 // status endpoints; -debug-addr opens a second listener with /metrics,
 // /healthz, /buildinfo, and net/http/pprof for live profiling.
+//
+// Every numeric sample the mirrored logs carry is additionally parsed
+// into an embedded compressed time-series store (internal/tsdb), served
+// on the dashboard's /api/series endpoints. -mirror-retain caps each
+// mirrored file's raw bytes (oldest lines evicted first; the compressed
+// store keeps the full history), and -tsdb-dir checkpoints the store to
+// <dir>/samples.ftsb after every round and restores it at startup.
 //
 // Keys are derived as SHA-256(keyseed/psk/<hostID>) and must match the
 // node agents' -keyseed.
@@ -76,6 +83,8 @@ func run() error {
 	breakerTrip := flag.Int("breaker-trip", 3, "consecutive failed rounds before a host's breaker opens (0 = disabled)")
 	breakerCooldown := flag.Int("breaker-cooldown", 3, "rounds an open breaker skips before a half-open probe")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address")
+	mirrorRetain := flag.Int("mirror-retain", 0, "cap each mirrored file at this many raw bytes, evicting oldest lines first (0 = unbounded)")
+	tsdbDir := flag.String("tsdb-dir", "", "checkpoint the compressed sample store into this directory after each round and restore it at startup")
 	flag.Parse()
 
 	if *hostsFlag == "" {
@@ -112,7 +121,14 @@ func run() error {
 	defer stop()
 
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
-	coll := monitor.NewCollector(0)
+	samples := monitor.NewSampleDB()
+	coll := monitor.NewCollector(0).WithSamples(samples)
+	coll.SetRetention(*mirrorRetain)
+	if *tsdbDir != "" {
+		if err := restoreSamples(samples, *tsdbDir); err != nil {
+			return err
+		}
+	}
 	fc, err := monitor.NewFleetCollector(coll, monitor.FleetConfig{
 		Hosts: ids,
 		Dial: func(ctx context.Context, hostID string, round, attempt int) (net.Conn, error) {
@@ -136,6 +152,21 @@ func run() error {
 	}
 	reg := telemetry.NewRegistry()
 	fc.Instrument(reg)
+	reg.GaugeFunc("frostlab_mirror_bytes",
+		"Raw log bytes currently held across all host mirrors (bounded by -mirror-retain).",
+		func() float64 { return float64(coll.MirrorBytes()) })
+	reg.GaugeFunc("frostlab_tsdb_samples",
+		"Samples stored in the compressed sample store.",
+		func() float64 { return float64(samples.Store().Stats().Samples) })
+	reg.GaugeFunc("frostlab_tsdb_series",
+		"Series registered in the compressed sample store.",
+		func() float64 { return float64(samples.Store().Stats().Series) })
+	reg.GaugeFunc("frostlab_tsdb_compressed_bytes",
+		"Compressed bytes held by the sample store (blocks plus heads).",
+		func() float64 { return float64(samples.Store().Stats().CompressedBytes) })
+	reg.GaugeFunc("frostlab_tsdb_dropped_samples",
+		"Parsed samples the store rejected (out-of-order timestamps).",
+		func() float64 { return float64(samples.Dropped()) })
 
 	if *httpAddr != "" {
 		srv := dash.NewServer(coll, ids, time.Now()).WithLedger(fc.Ledger()).WithTelemetry(reg)
@@ -163,6 +194,11 @@ func run() error {
 				return err
 			}
 		}
+		if *tsdbDir != "" {
+			if err := checkpointSamples(samples, *tsdbDir); err != nil {
+				return err
+			}
+		}
 		if ctx.Err() != nil {
 			break
 		}
@@ -177,6 +213,11 @@ func run() error {
 	// Final flush and gap accounting on the way out.
 	if *dir != "" {
 		if err := flushMirrors(coll, ids, *dir); err != nil {
+			return err
+		}
+	}
+	if *tsdbDir != "" {
+		if err := checkpointSamples(samples, *tsdbDir); err != nil {
 			return err
 		}
 	}
@@ -217,6 +258,51 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// segmentName is the sample store's checkpoint file within -tsdb-dir.
+const segmentName = "samples.ftsb"
+
+// checkpointSamples writes the store as a segment, atomically: a torn
+// write leaves the previous checkpoint intact.
+func checkpointSamples(db *monitor.SampleDB, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, segmentName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Store().WriteSegment(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, segmentName))
+}
+
+// restoreSamples loads the checkpoint segment if one exists.
+func restoreSamples(db *monitor.SampleDB, dir string) error {
+	f, err := os.Open(filepath.Join(dir, segmentName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Store().ReadSegment(f); err != nil {
+		return fmt.Errorf("restoring sample checkpoint: %w", err)
+	}
+	st := db.Store().Stats()
+	fmt.Printf("restored sample checkpoint: %d series, %d samples, %d compressed bytes\n",
+		st.Series, st.Samples, st.CompressedBytes)
+	return nil
 }
 
 func flushMirrors(coll *monitor.Collector, ids []string, dir string) error {

@@ -162,7 +162,8 @@ func run() error {
 			if sleepCtx(ctx, time.Duration(float64(fuzz())*scale)) != nil {
 				return
 			}
-			res, err := runner.RunCycle(time.Now(), false)
+			cycleStart := time.Now()
+			res, err := runner.RunCycle(cycleStart, false)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cycle: %v\n", err)
 				met.cycleErrors.Inc()
@@ -170,12 +171,21 @@ func run() error {
 			}
 			met.cycles.Inc()
 			status := "OK"
+			ok := 1
 			if !res.OK {
 				status = "BAD"
+				ok = 0
 				met.badCycles.Inc()
 			}
 			line := fmt.Sprintf("%s %s %s\n", res.At.UTC().Format(time.RFC3339), status, res.MD5)
 			store.Append(monitor.MD5Log, []byte(line))
+			// The host's own health readings go to the sensor channel as
+			// timestamped key=value samples; collectord parses these into
+			// its compressed sample store.
+			sensor := fmt.Sprintf("%s cycle_ms=%.1f ok=%d\n",
+				res.At.UTC().Format(time.RFC3339),
+				float64(time.Since(cycleStart))/float64(time.Millisecond), ok)
+			store.Append(monitor.SensorLog, []byte(sensor))
 			if sleepCtx(ctx, *cycle) != nil {
 				return
 			}

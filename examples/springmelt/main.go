@@ -41,12 +41,12 @@ func main() {
 	for w := 0; w < 12; w++ {
 		from := cfg.Start.AddDate(0, 0, 7*w)
 		to := from.AddDate(0, 0, 7)
-		o, err := r.OutsideTemp.Slice(from, to).Summarize()
+		o, err := r.OutsideTemp.SummarizeWindow(from, to)
 		if err != nil {
 			continue
 		}
 		inMean, inMax := "n/a", "n/a"
-		if in, err := r.InsideTemp.Slice(from, to).Summarize(); err == nil {
+		if in, err := r.InsideTemp.SummarizeWindow(from, to); err == nil {
 			inMean, inMax = fmt.Sprintf("%.1f °C", in.Mean), fmt.Sprintf("%.1f °C", in.Max)
 		}
 		rows = append(rows, []string{

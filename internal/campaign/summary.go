@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"frostlab/internal/simkernel"
 	"frostlab/internal/stats"
 	"frostlab/internal/timeseries"
+	"frostlab/internal/tsdb"
 )
 
 // The Fig. 3/4 series a campaign builds cross-run envelopes for.
@@ -44,8 +46,32 @@ type RunSummary struct {
 	// E14 headline, 0 for open-loop runs).
 	Controlled       bool
 	EnvelopeFraction float64
-	// Series holds the envelope inputs, resampled to the campaign grid.
-	Series map[string]*timeseries.Series
+	// Series holds the envelope inputs, resampled to the campaign grid
+	// and compressed: a few bits per sample instead of a 24-byte Point,
+	// so hundreds of retained replicates stay small.
+	Series map[string]CompactSeries
+}
+
+// CompactSeries is one grid-resampled envelope input held as compressed
+// tsdb blocks. Decoding is bitwise-lossless, so aggregating from blocks
+// is byte-identical to aggregating from the Points it was built from.
+type CompactSeries struct {
+	Unit   string
+	Blocks []tsdb.Block
+}
+
+// Samples returns the stored sample count.
+func (cs CompactSeries) Samples() int {
+	n := 0
+	for _, b := range cs.Blocks {
+		n += b.Count()
+	}
+	return n
+}
+
+// Iter iterates the full series straight off the compressed blocks.
+func (cs CompactSeries) Iter() *tsdb.SeriesIter {
+	return tsdb.NewSeriesIter(cs.Blocks, math.MinInt64, math.MaxInt64)
 }
 
 // Summarize reduces a finished run to its campaign summary.
@@ -61,7 +87,7 @@ func Summarize(r *core.Results, grid time.Duration) (RunSummary, error) {
 		TotalCycles:   r.TotalCycles,
 		WrongHashes:   len(r.WrongHashes),
 		TentEnergyKWh: float64(r.TentEnergy),
-		Series:        make(map[string]*timeseries.Series, len(envelopeSeries)),
+		Series:        make(map[string]CompactSeries, len(envelopeSeries)),
 	}
 	if r.Control != nil {
 		rs.Controlled = true
@@ -86,7 +112,11 @@ func Summarize(r *core.Results, grid time.Duration) (RunSummary, error) {
 		if err != nil {
 			return rs, fmt.Errorf("campaign: resampling %s: %w", es.name, err)
 		}
-		rs.Series[es.name] = res
+		blocks, err := res.Compact(0)
+		if err != nil {
+			return rs, fmt.Errorf("campaign: compacting %s: %w", es.name, err)
+		}
+		rs.Series[es.name] = CompactSeries{Unit: res.Unit(), Blocks: blocks}
 	}
 	return rs, nil
 }
@@ -202,7 +232,7 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 			envFracSum += rs.EnvelopeFraction
 		}
 		for name, series := range rs.Series {
-			if series.Len() == 0 {
+			if series.Samples() == 0 {
 				continue
 			}
 			buckets := env[name]
@@ -211,20 +241,23 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 				env[name] = buckets
 			}
 			envRuns[name]++
-			for _, p := range series.Points() {
-				key := p.At.UnixNano()
+			// Decode straight off the compressed blocks; sample order —
+			// and therefore every pooled float sum — matches the Points
+			// slice this replicate was compacted from.
+			for it := series.Iter(); it.Next(); {
+				key, v := it.At()
 				b := buckets[key]
 				if b == nil {
-					buckets[key] = &envBucket{min: p.Value, max: p.Value, sum: p.Value, n: 1}
+					buckets[key] = &envBucket{min: v, max: v, sum: v, n: 1}
 					continue
 				}
-				if p.Value < b.min {
-					b.min = p.Value
+				if v < b.min {
+					b.min = v
 				}
-				if p.Value > b.max {
-					b.max = p.Value
+				if v > b.max {
+					b.max = v
 				}
-				b.sum += p.Value
+				b.sum += v
 				b.n++
 			}
 		}

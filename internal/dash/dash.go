@@ -15,6 +15,10 @@
 //	GET /api/rounds          JSON collection-round history
 //	GET /api/gaps            JSON per-host gap accounting (with a ledger)
 //	GET /api/ledger/{host}   JSON parsed md5sum ledger for one host
+//	GET /api/series          JSON sample-series catalogue (with a SampleDB)
+//	GET /api/series/{host}/{metric}?from=&to=
+//	                         JSON samples in the window, decoded straight
+//	                         from compressed tsdb blocks
 //	GET /logs/{host}/{file}  raw mirrored log content
 //
 // API errors are JSON bodies of the form {"error": "..."} with the
@@ -24,6 +28,7 @@ package dash
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -81,6 +86,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/rounds", s.handleRounds)
 	mux.HandleFunc("GET /api/gaps", s.handleGaps)
 	mux.HandleFunc("GET /api/ledger/{host}", s.handleLedger)
+	mux.HandleFunc("GET /api/series", s.handleSeries)
+	mux.HandleFunc("GET /api/series/{host}/{metric}", s.handleSeriesWindow)
 	mux.HandleFunc("GET /logs/{host}/{file}", s.handleLog)
 	return mux
 }
@@ -165,6 +172,92 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, sum)
+}
+
+// SeriesPoint is one sample in an /api/series response.
+type SeriesPoint struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// SeriesWindow is the /api/series/{host}/{metric} response shape. It is
+// exported so regression tests (and clients) can marshal the reference
+// representation through the exact same encoder.
+type SeriesWindow struct {
+	Series string        `json:"series"`
+	Points []SeriesPoint `json:"points"`
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	db := s.coll.Samples()
+	if db == nil {
+		writeJSONError(w, http.StatusNotFound, "no sample plane attached to this collector")
+		return
+	}
+	type seriesInfo struct {
+		Series          string    `json:"series"`
+		Samples         int64     `json:"samples"`
+		Blocks          int       `json:"blocks"`
+		CompressedBytes int64     `json:"compressed_bytes"`
+		From            time.Time `json:"from"`
+		To              time.Time `json:"to"`
+	}
+	infos := db.Store().Series()
+	out := make([]seriesInfo, 0, len(infos))
+	for _, in := range infos {
+		out = append(out, seriesInfo{
+			Series:          in.Name,
+			Samples:         in.Samples,
+			Blocks:          in.Blocks,
+			CompressedBytes: in.CompressedBytes,
+			From:            time.Unix(0, in.MinTime).UTC(),
+			To:              time.Unix(0, in.MaxTime).UTC(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSeriesWindow(w http.ResponseWriter, r *http.Request) {
+	db := s.coll.Samples()
+	if db == nil {
+		writeJSONError(w, http.StatusNotFound, "no sample plane attached to this collector")
+		return
+	}
+	name := r.PathValue("host") + "/" + r.PathValue("metric")
+	from, to := int64(math.MinInt64), int64(math.MaxInt64)
+	if q := r.URL.Query().Get("from"); q != "" {
+		at, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "bad from: "+err.Error())
+			return
+		}
+		from = at.UnixNano()
+	}
+	if q := r.URL.Query().Get("to"); q != "" {
+		at, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "bad to: "+err.Error())
+			return
+		}
+		to = at.UnixNano()
+	}
+	it, err := db.Store().Query(name, from, to)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, "unknown series "+name)
+		return
+	}
+	// Decode straight off the compressed blocks; the response holds the
+	// only materialised copy.
+	out := SeriesWindow{Series: name, Points: []SeriesPoint{}}
+	for it.Next() {
+		t, v := it.At()
+		out.Points = append(out.Points, SeriesPoint{At: time.Unix(0, t).UTC(), Value: v})
+	}
+	if err := it.Err(); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

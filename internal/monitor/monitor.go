@@ -13,6 +13,7 @@
 package monitor
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -100,6 +101,12 @@ const (
 	ftDelta    byte = 4 // agent -> collector: name + delta
 	ftBye      byte = 5 // collector -> agent: round complete
 	ftError    byte = 6 // agent -> collector: error text
+	// ftSigAt is ftSig with an 8-byte base offset before the signature:
+	// the agent diffs only its file content from that offset on. It is
+	// what keeps a retention-capped mirror (SetRetention) from paying the
+	// evicted prefix as literal bytes again every round — the collector
+	// asks for the suffix it actually retains.
+	ftSigAt byte = 7
 )
 
 // ErrRemote carries an agent-reported error.
@@ -155,13 +162,31 @@ func (a *Agent) Serve(sess *wire.Session) error {
 			if err := sess.Send(ftListResp, []byte(joined)); err != nil {
 				return err
 			}
-		case ftSig:
+		case ftSig, ftSigAt:
 			name, sigBytes, err := decodeNamed(payload)
 			if err != nil {
 				if serr := sess.Send(ftError, []byte(err.Error())); serr != nil {
 					return serr
 				}
 				continue
+			}
+			var base int
+			if ft == ftSigAt {
+				if len(sigBytes) < 8 {
+					if serr := sess.Send(ftError, []byte("monitor: sigAt payload too short")); serr != nil {
+						return serr
+					}
+					continue
+				}
+				off := binary.BigEndian.Uint64(sigBytes)
+				sigBytes = sigBytes[8:]
+				if off > uint64(1<<62) {
+					if serr := sess.Send(ftError, []byte("monitor: sigAt offset out of range")); serr != nil {
+						return serr
+					}
+					continue
+				}
+				base = int(off)
 			}
 			sig, err := delta.UnmarshalSignature(sigBytes)
 			if err != nil {
@@ -170,7 +195,11 @@ func (a *Agent) Serve(sess *wire.Session) error {
 				}
 				continue
 			}
-			d, err := delta.Compute(sig, a.store.Get(name))
+			content := a.store.Get(name)
+			if base > len(content) {
+				base = len(content) // file shrank or offset raced ahead
+			}
+			d, err := delta.Compute(sig, content[base:])
 			if err != nil {
 				if serr := sess.Send(ftError, []byte(err.Error())); serr != nil {
 					return serr
@@ -216,6 +245,15 @@ type Collector struct {
 	mirrors   map[string]*FileStore
 	blockSize int
 	history   []RoundStats
+
+	// samples, when set, receives every byte appended to a mirror for
+	// numeric-sample extraction (see SampleDB).
+	samples *SampleDB
+	// retain caps each mirrored file's raw bytes; 0 means unbounded.
+	retain int
+	// trimmed[host][file] is how many bytes of that file's prefix the
+	// retention cap has evicted — the base offset for ftSigAt rounds.
+	trimmed map[string]map[string]int
 }
 
 // NewCollector returns a collector using the given delta block size
@@ -224,7 +262,82 @@ func NewCollector(blockSize int) *Collector {
 	if blockSize <= 0 {
 		blockSize = delta.DefaultBlockSize
 	}
-	return &Collector{mirrors: make(map[string]*FileStore), blockSize: blockSize}
+	return &Collector{
+		mirrors:   make(map[string]*FileStore),
+		blockSize: blockSize,
+		trimmed:   make(map[string]map[string]int),
+	}
+}
+
+// WithSamples attaches a sample plane: every byte newly appended to a
+// mirror is also parsed for numeric samples and stored compressed. It
+// returns the collector for chaining.
+func (c *Collector) WithSamples(db *SampleDB) *Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = db
+	return c
+}
+
+// Samples returns the attached sample plane (nil if none).
+func (c *Collector) Samples() *SampleDB {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samples
+}
+
+// SetRetention caps every mirrored file at n raw bytes. When an applied
+// round pushes a file past the cap, the oldest bytes are evicted down to
+// the cap at a line boundary; subsequent rounds synchronise only the
+// retained suffix (the ftSigAt frame), so the evicted prefix is never
+// re-transferred. n <= 0 disables the cap. Already-ingested samples are
+// unaffected: eviction is what makes mirrors a bounded working set while
+// the SampleDB keeps the full history in compressed form.
+func (c *Collector) SetRetention(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.retain = n
+}
+
+// MirrorBytes returns the raw bytes currently held across all mirrors —
+// the quantity the retention cap bounds.
+func (c *Collector) MirrorBytes() int64 {
+	c.mu.Lock()
+	mirrors := make([]*FileStore, 0, len(c.mirrors))
+	for _, m := range c.mirrors {
+		mirrors = append(mirrors, m)
+	}
+	c.mu.Unlock()
+	var total int64
+	for _, m := range mirrors {
+		for _, name := range m.Names() {
+			total += int64(m.Size(name))
+		}
+	}
+	return total
+}
+
+// TrimmedBytes returns how many raw bytes retention has evicted for one
+// host's file (0 if never trimmed).
+func (c *Collector) TrimmedBytes(hostID, name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trimmed[hostID][name]
+}
+
+// setTrimmed records the eviction offset for a host's file.
+func (c *Collector) setTrimmed(hostID, name string, off int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.trimmed[hostID]
+	if m == nil {
+		m = make(map[string]int)
+		c.trimmed[hostID] = m
+	}
+	m[name] = off
 }
 
 // Mirror returns the collector's mirror of a host's store, creating it on
@@ -284,16 +397,31 @@ func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, 
 	if len(payload) > 0 {
 		names = splitLines(string(payload))
 	}
+	c.mu.Lock()
+	samples, retain := c.samples, c.retain
+	c.mu.Unlock()
 	for _, name := range names {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
 		old := mirror.Get(name)
+		trim := c.TrimmedBytes(hostID, name)
 		sig, err := delta.NewSignature(old, c.blockSize)
 		if err != nil {
 			return stats, err
 		}
-		if err := sess.Send(ftSig, encodeNamed(name, sig.Marshal())); err != nil {
+		if trim > 0 {
+			// The mirror holds only the suffix past the eviction offset;
+			// ask the agent to diff from there so the evicted prefix is
+			// not re-paid as literal bytes.
+			payload := make([]byte, 8+len(sig.Marshal()))
+			binary.BigEndian.PutUint64(payload, uint64(trim))
+			copy(payload[8:], sig.Marshal())
+			err = sess.Send(ftSigAt, encodeNamed(name, payload))
+		} else {
+			err = sess.Send(ftSig, encodeNamed(name, sig.Marshal()))
+		}
+		if err != nil {
 			return stats, err
 		}
 		ft, payload, err := sess.Recv()
@@ -321,10 +449,35 @@ func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, 
 		if err != nil {
 			return stats, fmt.Errorf("monitor: applying delta for %s/%s: %w", hostID, name, err)
 		}
+		if samples != nil {
+			if len(old) > 0 && len(updated) >= len(old) && bytes.HasPrefix(updated, old) {
+				// Append-only logs grow in place; parse only the new suffix.
+				samples.Ingest(hostID, name, updated[len(old):])
+			} else {
+				// No append baseline (a file's first sync — possibly after
+				// a restart with a restored sample checkpoint — or a
+				// rewritten file): replay the whole mirror and let
+				// timestamps dedupe against what the store already holds.
+				samples.Replay(hostID, name, updated)
+			}
+		}
+		fullLen := trim + len(updated) // the agent-side file size
+		if retain > 0 && len(updated) > retain {
+			cut := len(updated) - retain
+			// Evict whole lines only, so the retained suffix always
+			// starts at a line start (and stays parseable on replay).
+			if i := indexByteFrom(updated, '\n', cut-1); i >= 0 {
+				cut = i + 1
+			} else {
+				cut = len(updated)
+			}
+			c.setTrimmed(hostID, name, trim+cut)
+			updated = updated[cut:]
+		}
 		mirror.Put(name, updated)
 		stats.Files++
 		stats.LiteralBytes += d.LiteralBytes()
-		stats.TotalBytes += len(updated)
+		stats.TotalBytes += fullLen
 	}
 	if err := sess.Send(ftBye, nil); err != nil {
 		return stats, err
@@ -333,6 +486,20 @@ func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, 
 	c.history = append(c.history, stats)
 	c.mu.Unlock()
 	return stats, nil
+}
+
+// indexByteFrom returns the index of the first b at or after start
+// (-1 if none). start may be any value; it is clamped to the slice.
+func indexByteFrom(p []byte, b byte, start int) int {
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(p); i++ {
+		if p[i] == b {
+			return i
+		}
+	}
+	return -1
 }
 
 func splitLines(s string) []string {

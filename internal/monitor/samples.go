@@ -1,0 +1,183 @@
+package monitor
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"time"
+
+	"frostlab/internal/tsdb"
+)
+
+// SampleDB is the monitoring host's parsed-sample plane: every numeric
+// reading the mirrored logs carry, stored compressed in an embedded
+// internal/tsdb store instead of living only as raw log bytes in the
+// mirror maps. The paper kept a whole winter of tent/intake/outlet
+// readings; at fleet scale the raw mirrors cannot hold that history, but
+// a few compressed bits per sample can — and once the samples live here,
+// the raw mirror becomes a bounded working set (see Collector.SetRetention).
+//
+// Series are named "<hostID>/<key>": the host that produced the reading
+// and the key of the "key=value" token on the log line.
+type SampleDB struct {
+	store *tsdb.Store
+
+	mu sync.Mutex
+	// tails hold incomplete trailing lines per host/file until the next
+	// ingest completes them.
+	tails map[string][]byte
+	// dropped counts samples rejected by the store (out-of-order
+	// timestamps after an agent restart, typically).
+	dropped int64
+}
+
+// NewSampleDB returns an empty sample plane.
+func NewSampleDB() *SampleDB {
+	return &SampleDB{store: tsdb.NewStore(0), tails: make(map[string][]byte)}
+}
+
+// Store exposes the underlying tsdb store for queries and checkpoints.
+func (db *SampleDB) Store() *tsdb.Store { return db.store }
+
+// Dropped returns how many parsed samples the store rejected.
+func (db *SampleDB) Dropped() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.dropped
+}
+
+// Ingest parses the bytes newly appended to one mirrored file and appends
+// every numeric sample to the store. Chunks may end mid-line; the
+// fragment is buffered and completed by the next ingest. It returns the
+// number of samples stored.
+func (db *SampleDB) Ingest(hostID, file string, chunk []byte) int {
+	if len(chunk) == 0 {
+		return 0
+	}
+	key := hostID + "\x00" + file
+	db.mu.Lock()
+	if tail := db.tails[key]; len(tail) > 0 {
+		chunk = append(append([]byte(nil), tail...), chunk...)
+		db.tails[key] = nil
+	}
+	if last := bytes.LastIndexByte(chunk, '\n'); last < 0 {
+		db.tails[key] = append(db.tails[key], chunk...)
+		db.mu.Unlock()
+		return 0
+	} else if last+1 < len(chunk) {
+		db.tails[key] = append([]byte(nil), chunk[last+1:]...)
+		chunk = chunk[:last+1]
+	}
+	db.mu.Unlock()
+
+	stored := 0
+	ParseSamples(hostID, chunk, func(series string, t int64, v float64) {
+		if err := db.store.Append(series, t, v); err != nil {
+			db.mu.Lock()
+			db.dropped++
+			db.mu.Unlock()
+			return
+		}
+		stored++
+	})
+	return stored
+}
+
+// Replay re-parses a complete mirrored file and stores only the samples
+// newer than each series' last stored timestamp. It is the resync path —
+// after a daemon restart the collector has no byte baseline to cut an
+// appended suffix from, so it replays the whole mirror and lets the
+// timestamps dedupe. Replayed duplicates are skipped silently, not
+// counted as drops.
+func (db *SampleDB) Replay(hostID, file string, data []byte) int {
+	key := hostID + "\x00" + file
+	db.mu.Lock()
+	// The replayed file supersedes any buffered fragment; its own
+	// trailing partial line is buffered for the next appended chunk.
+	db.tails[key] = nil
+	if last := bytes.LastIndexByte(data, '\n'); last < 0 {
+		db.tails[key] = append([]byte(nil), data...)
+		data = nil
+	} else if last+1 < len(data) {
+		db.tails[key] = append([]byte(nil), data[last+1:]...)
+		data = data[:last+1]
+	}
+	db.mu.Unlock()
+
+	lastT := make(map[string]int64)
+	stored := 0
+	ParseSamples(hostID, data, func(series string, t int64, v float64) {
+		last, ok := lastT[series]
+		if !ok {
+			last = minInt64
+			if info, exists := db.store.Info(series); exists {
+				last = info.MaxTime
+			}
+		}
+		if ok || last != minInt64 {
+			if t <= last {
+				lastT[series] = last
+				return
+			}
+		}
+		if err := db.store.Append(series, t, v); err != nil {
+			db.mu.Lock()
+			db.dropped++
+			db.mu.Unlock()
+			return
+		}
+		lastT[series] = t
+		stored++
+	})
+	return stored
+}
+
+const minInt64 = -1 << 63
+
+// ParseSamples scans log lines of the shape the node agents emit —
+//
+//	2010-02-19T12:10:00Z cpu=-4.1 disk0=8.0
+//
+// an RFC3339 timestamp followed by whitespace-separated key=value tokens
+// — and calls emit for every value that parses as a float. Non-numeric
+// tokens ("cpu=ERR chip not detected") and unparsable lines are skipped:
+// the mirror keeps the raw text, this plane only wants the numbers. It is
+// exported so tests and offline tooling can replay raw mirrors through
+// the exact parser the live ingest path uses.
+func ParseSamples(hostID string, data []byte, emit func(series string, t int64, v float64)) {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		sp := bytes.IndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		at, err := time.Parse(time.RFC3339, string(line[:sp]))
+		if err != nil {
+			continue
+		}
+		t := at.UnixNano()
+		rest := line[sp+1:]
+		for len(rest) > 0 {
+			tok := rest
+			if i := bytes.IndexByte(rest, ' '); i >= 0 {
+				tok, rest = rest[:i], rest[i+1:]
+			} else {
+				rest = nil
+			}
+			eq := bytes.IndexByte(tok, '=')
+			if eq <= 0 || eq == len(tok)-1 {
+				continue
+			}
+			v, err := strconv.ParseFloat(string(tok[eq+1:]), 64)
+			if err != nil {
+				continue
+			}
+			emit(hostID+"/"+string(tok[:eq]), t, v)
+		}
+	}
+}

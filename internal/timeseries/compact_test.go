@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func quantizedSeries(t *testing.T, n int) *Series {
+	t.Helper()
+	s := New("tent_inside", "°C")
+	base := time.Date(2009, 11, 20, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		v, _ := strconv.ParseFloat(strconv.FormatFloat(
+			6*math.Sin(float64(i)/70)-3, 'f', 3, 64), 64)
+		if err := s.Append(base.Add(time.Duration(i)*20*time.Minute), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	s := quantizedSeries(t, 3000)
+	blocks, err := s.Compact(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBlocks(s.Name(), s.Unit(), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != s.Name() || back.Unit() != s.Unit() || back.Len() != s.Len() {
+		t.Fatalf("decoded series shape %s/%s/%d", back.Name(), back.Unit(), back.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.At(i), back.At(i)
+		if !a.At.Equal(b.At) || math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Fatalf("sample %d: got (%v, %v), want (%v, %v)", i, b.At, b.Value, a.At, a.Value)
+		}
+	}
+	// The compressed form must be dramatically smaller than []Point.
+	comp := 0
+	for _, b := range blocks {
+		comp += b.CompressedBytes()
+	}
+	if ratio := float64(24*s.Len()) / float64(comp); ratio < 6 {
+		t.Errorf("instrument-precision series compressed only %.1fx", ratio)
+	}
+}
+
+func TestAggregationOverBlocks(t *testing.T) {
+	// Existing aggregation and resampling APIs must work — and agree —
+	// over data that lived in compressed storage.
+	s := quantizedSeries(t, 2000)
+	blocks, err := s.Compact(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBlocks(s.Name(), s.Unit(), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantSum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := back.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSum != gotSum {
+		t.Fatalf("Summarize over decoded blocks = %+v, want %+v", gotSum, wantSum)
+	}
+	streamed, err := SummarizeBlocks(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != wantSum {
+		t.Fatalf("SummarizeBlocks = %+v, want %+v", streamed, wantSum)
+	}
+
+	wantRes, err := s.Resample(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := back.Resample(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantRes.Len() != gotRes.Len() {
+		t.Fatalf("resample over blocks has %d buckets, want %d", gotRes.Len(), wantRes.Len())
+	}
+	for i := 0; i < wantRes.Len(); i++ {
+		a, b := wantRes.At(i), gotRes.At(i)
+		if !a.At.Equal(b.At) || math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Fatalf("resample bucket %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSummarizeBlocksEmpty(t *testing.T) {
+	if _, err := SummarizeBlocks(nil); err != ErrEmpty {
+		t.Fatalf("empty blocks: got %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeWindow(t *testing.T) {
+	s := quantizedSeries(t, 1000)
+	from := s.At(100).At
+	to := s.At(300).At // exclusive
+	want, err := s.Slice(from, to).Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SummarizeWindow(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SummarizeWindow = %+v, want %+v", got, want)
+	}
+	if got.N != 200 {
+		t.Fatalf("window holds %d samples, want 200", got.N)
+	}
+	if _, err := s.SummarizeWindow(to, from); err != ErrEmpty {
+		t.Fatalf("inverted window: got %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeWindowAllocFree(t *testing.T) {
+	// The windowed aggregation must not copy the window: the old
+	// Slice+Summarize path allocated a fresh Series per dashboard query.
+	s := quantizedSeries(t, 5000)
+	from := s.At(1000).At
+	to := s.At(4000).At
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.SummarizeWindow(from, to); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SummarizeWindow allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -84,11 +84,22 @@ func (s *Series) Last() (Point, error) {
 	return s.points[len(s.points)-1], nil
 }
 
+// window binary-searches the index range [lo, hi) of samples in
+// [from, to): O(log n) however often a dashboard asks, instead of the
+// linear scan from index 0 the window paths used to pay per call.
+func (s *Series) window(from, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
+	hi = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(to) })
+	if hi < lo {
+		hi = lo // inverted window: empty, not a panic
+	}
+	return lo, hi
+}
+
 // Slice returns a new series holding the samples in [from, to).
 func (s *Series) Slice(from, to time.Time) *Series {
 	out := New(s.name, s.unit)
-	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
-	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(to) })
+	lo, hi := s.window(from, to)
 	out.points = append(out.points, s.points[lo:hi]...)
 	return out
 }
@@ -106,18 +117,32 @@ type Summary struct {
 
 // Summarize computes descriptive statistics over the whole series.
 func (s *Series) Summarize() (Summary, error) {
-	if len(s.points) == 0 {
+	return summarizePoints(s.points)
+}
+
+// SummarizeWindow computes descriptive statistics over the samples in
+// [from, to). The window bounds are found by binary search, so a
+// dashboard issuing repeated window queries pays O(log n + w) per call
+// — not a scan from index 0.
+func (s *Series) SummarizeWindow(from, to time.Time) (Summary, error) {
+	lo, hi := s.window(from, to)
+	return summarizePoints(s.points[lo:hi])
+}
+
+// summarizePoints aggregates an ordered sample run without copying it.
+func summarizePoints(pts []Point) (Summary, error) {
+	if len(pts) == 0 {
 		return Summary{}, ErrEmpty
 	}
 	sum := Summary{
-		N:     len(s.points),
+		N:     len(pts),
 		Min:   math.Inf(1),
 		Max:   math.Inf(-1),
-		First: s.points[0].At,
-		Last:  s.points[len(s.points)-1].At,
+		First: pts[0].At,
+		Last:  pts[len(pts)-1].At,
 	}
 	var total, sq float64
-	for _, p := range s.points {
+	for _, p := range pts {
 		if p.Value < sum.Min {
 			sum.Min, sum.MinAt = p.Value, p.At
 		}
@@ -127,7 +152,7 @@ func (s *Series) Summarize() (Summary, error) {
 		total += p.Value
 	}
 	sum.Mean = total / float64(sum.N)
-	for _, p := range s.points {
+	for _, p := range pts {
 		d := p.Value - sum.Mean
 		sq += d * d
 	}

@@ -1,0 +1,163 @@
+package tsdb
+
+// bitWriter appends bits MSB-first into a byte slice. The slice grows by
+// the usual append doubling, so a warm writer (capacity already there)
+// appends without allocating — the property the head's 0-alloc gate
+// measures.
+type bitWriter struct {
+	buf []byte
+	// free is how many bits of the last byte are still unused (0..8).
+	// free == 0 also covers the empty buffer, where the next bit opens a
+	// new byte.
+	free uint
+}
+
+// reset empties the writer, keeping the buffer's capacity.
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.free = 0
+}
+
+// bytes returns the written stream. The final byte may contain up to 7
+// trailing zero padding bits; decoders stop on sample count, never on
+// stream length.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.free == 0 {
+		w.buf = append(w.buf, 0)
+		w.free = 8
+	}
+	w.free--
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << w.free
+	}
+}
+
+// writeBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := n
+		if take > w.free {
+			take = w.free
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.free -= take
+		w.buf[len(w.buf)-1] |= byte(chunk << w.free)
+		n -= take
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice. Reading past the
+// end yields zero bits and sets short, which iterators surface as a
+// corruption error — the stream's sample count claimed more data than the
+// bytes held.
+type bitReader struct {
+	buf   []byte
+	pos   int  // next byte to consume
+	cur   byte // current partially-consumed byte
+	avail uint // unconsumed bits in cur
+	short bool
+}
+
+func newBitReader(buf []byte) bitReader {
+	return bitReader{buf: buf}
+}
+
+// readBit consumes one bit.
+func (r *bitReader) readBit() uint64 {
+	if r.avail == 0 {
+		if r.pos >= len(r.buf) {
+			r.short = true
+			return 0
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.avail = 8
+	}
+	r.avail--
+	return uint64(r.cur>>r.avail) & 1
+}
+
+// readBits consumes n bits (MSB-first), n in [0, 64].
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.avail == 0 {
+			if r.pos >= len(r.buf) {
+				r.short = true
+				return v << n
+			}
+			r.cur = r.buf[r.pos]
+			r.pos++
+			r.avail = 8
+		}
+		take := n
+		if take > r.avail {
+			take = r.avail
+		}
+		r.avail -= take
+		v = v<<take | uint64(r.cur>>r.avail)&((1<<take)-1)
+		n -= take
+	}
+	return v
+}
+
+// zigzag maps a signed delta onto an unsigned value with small magnitudes
+// small: 0,-1,1,-2,2 → 0,1,2,3,4.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Variable-width integer buckets shared by the timestamp delta-of-delta
+// and the decimal value delta-of-delta: a unary mode prefix selects how
+// many bits follow. Regularly sampled series pay a single '0' bit per
+// timestamp.
+//
+//	0            dod == 0
+//	10 +  8 bits zigzag in [1, 255]
+//	110 + 16 bits zigzag in [256, 65535]
+//	1110 + 32 bits
+//	1111 + 64 bits
+func writeVarint(w *bitWriter, v int64) {
+	u := zigzag(v)
+	switch {
+	case u == 0:
+		w.writeBit(0)
+	case u < 1<<8:
+		w.writeBits(0b10, 2)
+		w.writeBits(u, 8)
+	case u < 1<<16:
+		w.writeBits(0b110, 3)
+		w.writeBits(u, 16)
+	case u < 1<<32:
+		w.writeBits(0b1110, 4)
+		w.writeBits(u, 32)
+	default:
+		w.writeBits(0b1111, 4)
+		w.writeBits(u, 64)
+	}
+}
+
+func readVarint(r *bitReader) int64 {
+	if r.readBit() == 0 {
+		return 0
+	}
+	if r.readBit() == 0 {
+		return unzigzag(r.readBits(8))
+	}
+	if r.readBit() == 0 {
+		return unzigzag(r.readBits(16))
+	}
+	if r.readBit() == 0 {
+		return unzigzag(r.readBits(32))
+	}
+	return unzigzag(r.readBits(64))
+}
