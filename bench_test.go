@@ -66,9 +66,25 @@ func firstLines(s string, n int) string {
 	return strings.Join(lines, "\n")
 }
 
+// reportPerHostHour normalises a run benchmark to ns per simulated
+// host-hour, the cross-fleet-size figure of merit the scale work is gated
+// on (BENCH_SHARD.json): a 19-host classic run and a 10k-host sharded run
+// land on the same axis.
+func reportPerHostHour(b *testing.B, hosts int, cfg core.Config) {
+	b.Helper()
+	hours := cfg.End.Sub(cfg.Start).Hours()
+	if hosts <= 0 || hours <= 0 || b.N == 0 {
+		return
+	}
+	perRun := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perRun/(float64(hosts)*hours), "ns/host-hour")
+}
+
 // BenchmarkReferenceRun measures the full normal-phase experiment
 // (35 simulated days, 19 hosts, physics at 1-minute steps).
 func BenchmarkReferenceRun(b *testing.B) {
+	cfg := core.DefaultConfig(core.ReferenceSeed)
+	hosts := 0
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(core.ReferenceSeed)
 		cfg.MonitorEvery = 0
@@ -76,10 +92,13 @@ func BenchmarkReferenceRun(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := exp.Run(); err != nil {
+		r, err := exp.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		hosts = len(r.Hosts)
 	}
+	reportPerHostHour(b, hosts, cfg)
 }
 
 // BenchmarkReferenceRunInstrumented is the telemetry-overhead benchmark:
@@ -89,6 +108,7 @@ func BenchmarkReferenceRun(b *testing.B) {
 // are scrape-time views over counters the experiment already maintains,
 // so the hot path gains no allocations (see core.TestFailureTickAllocs).
 func BenchmarkReferenceRunInstrumented(b *testing.B) {
+	hosts := 0
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(core.ReferenceSeed)
 		cfg.MonitorEvery = 0
@@ -99,9 +119,11 @@ func BenchmarkReferenceRunInstrumented(b *testing.B) {
 		reg := telemetry.NewRegistry()
 		exp.InstrumentTelemetry(reg)
 		exp.WithTracer(telemetry.NewTracer(telemetry.DefaultTraceCapacity))
-		if _, err := exp.Run(); err != nil {
+		r, err := exp.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		hosts = len(r.Hosts)
 		var sb strings.Builder
 		if err := reg.WritePrometheus(&sb); err != nil {
 			b.Fatal(err)
@@ -111,6 +133,7 @@ func BenchmarkReferenceRunInstrumented(b *testing.B) {
 				fmt.Sprintf("\n… %d trace events recorded", exp.Tracer().Len()))
 		}
 	}
+	reportPerHostHour(b, hosts, core.DefaultConfig(core.ReferenceSeed))
 }
 
 // BenchmarkControlledRun measures the closed-loop reference run: the same
@@ -119,6 +142,7 @@ func BenchmarkReferenceRunInstrumented(b *testing.B) {
 // tick budget (core.TestControlTickAllocs), so the delta over
 // BenchmarkReferenceRun is pure arithmetic, not garbage.
 func BenchmarkControlledRun(b *testing.B) {
+	hosts := 0
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(core.ReferenceSeed)
 		cfg.MonitorEvery = 0
@@ -128,10 +152,13 @@ func BenchmarkControlledRun(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := exp.Run(); err != nil {
+		r, err := exp.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		hosts = len(r.Hosts)
 	}
+	reportPerHostHour(b, hosts, core.DefaultConfig(core.ReferenceSeed))
 }
 
 // BenchmarkControlledRunInstrumented adds the live metrics registry and
@@ -140,6 +167,7 @@ func BenchmarkControlledRun(b *testing.B) {
 // scrape-time views and the damper counter track writes into the tracer's
 // preallocated ring.
 func BenchmarkControlledRunInstrumented(b *testing.B) {
+	hosts := 0
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(core.ReferenceSeed)
 		cfg.MonitorEvery = 0
@@ -152,9 +180,11 @@ func BenchmarkControlledRunInstrumented(b *testing.B) {
 		reg := telemetry.NewRegistry()
 		exp.InstrumentTelemetry(reg)
 		exp.WithTracer(telemetry.NewTracer(telemetry.DefaultTraceCapacity))
-		if _, err := exp.Run(); err != nil {
+		r, err := exp.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		hosts = len(r.Hosts)
 		var sb strings.Builder
 		if err := reg.WritePrometheus(&sb); err != nil {
 			b.Fatal(err)
@@ -163,6 +193,7 @@ func BenchmarkControlledRunInstrumented(b *testing.B) {
 			b.Fatal("instrumented closed-loop run exposes no control metrics")
 		}
 	}
+	reportPerHostHour(b, hosts, core.DefaultConfig(core.ReferenceSeed))
 }
 
 // BenchmarkFig2InstallTimeline regenerates the Fig. 2 installation Gantt.

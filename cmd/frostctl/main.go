@@ -6,8 +6,13 @@
 //
 //	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events] [-trace out.json]
+//	frostctl -tents N [-hosts-per-tent 9] [-shards K] [-days N] [-csv DIR] [-save out.json]
 //
 // With no flags it reproduces the reference run (seed winter0910-r115).
+// With -tents set it instead runs the sharded scale engine over a synthetic
+// fleet of N tents (core.NewSharded): the same winter, physics, and failure
+// model, stepped as parallel per-tent shards, reported as fleet-level
+// aggregates. Results are byte-identical at any -shards value or GOMAXPROCS.
 // -phase chaos runs the E13 monitoring-outage study instead: an in-process
 // fleet collected under seeded fault injection (see -chaos-* flags).
 // -phase control runs the E14 free-cooling control study: the winter and
@@ -24,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"frostlab/internal/core"
+	"frostlab/internal/hardware"
 	"frostlab/internal/power"
 	"frostlab/internal/report"
 	"frostlab/internal/telemetry"
@@ -52,9 +59,19 @@ func run() error {
 	loadFrom := flag.String("load", "", "skip the simulation; render a previously saved run")
 	mdTo := flag.String("md", "", "write a complete markdown run report to this file")
 	traceTo := flag.String("trace", "", "write the run as Chrome trace-event JSON to this file")
+	tents := flag.Int("tents", 0, "run the sharded scale engine over a synthetic fleet of this many tents (0 = the paper's paired fleet)")
+	hostsPerTent := flag.Int("hosts-per-tent", 9, "hosts per synthetic tent (with -tents)")
+	shards := flag.Int("shards", 0, "shard count for the synthetic fleet; <= 0 selects GOMAXPROCS. Results are byte-identical at any shard count or GOMAXPROCS; more shards than cores adds overhead without speedup")
 	ch := chaosFlags()
 	co := controlFlags()
 	flag.Parse()
+
+	if *tents > 0 {
+		if *phase != "all" && *phase != "normal" {
+			return fmt.Errorf("-tents only applies to the normal phase, not -phase %s", *phase)
+		}
+		return runScaleFleet(*seed, *tents, *hostsPerTent, *shards, *days, *saveTo, *csvDir)
+	}
 
 	if *phase == "chaos" {
 		return runChaosStudy(*seed, ch, *traceTo)
@@ -184,6 +201,86 @@ func run() error {
 			return err
 		}
 		fmt.Printf("Markdown report written to %s\n", *mdTo)
+	}
+	return nil
+}
+
+// runScaleFleet runs the sharded scale engine (-tents) and prints
+// fleet-level aggregates: at 10k+ hosts the per-host tables of the paper
+// reproduction stop being readable, so the scale path reports rates,
+// energy, and throughput instead.
+func runScaleFleet(seed string, tents, hostsPerTent, shards, days int, saveTo, csvDir string) error {
+	fleet, err := hardware.SyntheticFleet(tents, hostsPerTent, seed)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(seed)
+	cfg.Fleet = fleet
+	cfg.MonitorEvery = 0
+	if days > 0 {
+		cfg.End = cfg.Start.AddDate(0, 0, days)
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	exp, err := core.NewSharded(cfg, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Running synthetic fleet %s – %s: %d tents × %d hosts = %d hosts in %d shards (seed %q)...\n\n",
+		cfg.Start.Format("Jan 02"), cfg.End.Format("Jan 02"),
+		tents, hostsPerTent, exp.Hosts(), exp.Shards(), seed)
+	wallStart := time.Now()
+	r, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(wallStart)
+
+	if saveTo != "" {
+		f, err := os.Create(saveTo)
+		if err != nil {
+			return err
+		}
+		if err := core.SaveResults(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Results saved to %s\n\n", saveTo)
+	}
+
+	var relocated, storageLost, transients int
+	for _, h := range r.Hosts {
+		transients += len(h.Transients)
+		if h.Relocated {
+			relocated++
+		}
+		if h.StorageLost {
+			storageLost++
+		}
+	}
+	fmt.Println(report.TableFailureRates(r))
+	if in, err := r.InsideTemp.Summarize(); err == nil {
+		fmt.Printf("Tent air: min %.1f °C, mean %.1f °C, max %.1f °C over %d samples\n",
+			in.Min, in.Mean, in.Max, in.N)
+	}
+	fmt.Printf("Transient failures: %d (%d hosts relocated indoors)\n", transients, relocated)
+	fmt.Printf("Storage lost: %d hosts\n", storageLost)
+	fmt.Printf("Wrong hashes: %d incidents over %d workload cycles\n", len(r.WrongHashes), r.TotalCycles)
+	fmt.Printf("Tent-feed energy: %.0f kWh\n", float64(r.TentEnergy))
+	hours := cfg.End.Sub(cfg.Start).Hours()
+	fmt.Printf("Wall clock: %v (%.1f ns/host-hour)\n",
+		wall.Round(time.Millisecond),
+		float64(wall.Nanoseconds())/(float64(exp.Hosts())*hours))
+
+	if csvDir != "" {
+		if err := writeCSVs(csvDir, r); err != nil {
+			return err
+		}
+		fmt.Printf("CSV series written to %s\n", csvDir)
 	}
 	return nil
 }

@@ -47,10 +47,24 @@ type Spec struct {
 	Seed string
 	// Reps is the number of replicates per sweep point.
 	Reps int
-	// Workers is the worker-pool width; <= 0 selects GOMAXPROCS.
+	// Workers is the worker-pool width; <= 0 selects GOMAXPROCS. With
+	// Tents set, Workers instead becomes the per-run shard count — the
+	// shard, not the replicate, is then the unit of parallel work.
 	Workers int
 	// Days overrides the normal-phase length (0 = the paper horizon).
 	Days int
+	// Tents switches the campaign to the sharded scale engine
+	// (core.NewSharded): each replicate simulates a synthetic fleet of
+	// Tents × HostsPerTent hosts instead of the paired reference fleet.
+	// Scale campaigns run replicates sequentially with Workers shards
+	// inside each run, and are incompatible with the monitoring, fleet
+	// and control sweep axes.
+	Tents int
+	// HostsPerTent sizes each synthetic tent; <= 0 selects the paper's
+	// nine-host mix.
+	HostsPerTent int
+	// shards is the resolved per-run shard count of a scale campaign.
+	shards int
 	// MonitorEvery is the collection cadence for runs; campaigns default
 	// to 0 (monitoring disabled) because the rsync plane costs far more
 	// than the physics and contributes nothing to pooled reliability
@@ -232,6 +246,18 @@ func (s *Spec) config(pt point, rep int) (core.Config, error) {
 	cfg.MonitorEvery = pt.monitor
 	if s.Days > 0 {
 		cfg.End = cfg.Start.AddDate(0, 0, s.Days)
+	}
+	if s.Tents > 0 {
+		hpt := s.HostsPerTent
+		if hpt <= 0 {
+			hpt = 9
+		}
+		fleet, err := hardware.SyntheticFleet(s.Tents, hpt, seed)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Fleet = fleet
+		cfg.MonitorEvery = 0
 	}
 	if !pt.mods {
 		cfg.Modifications = nil

@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScaleCampaign runs a small sharded-engine campaign: replicates run
+// sequentially with the worker budget spent on shards inside each run,
+// and the pooled rates cover every synthetic host.
+func TestScaleCampaign(t *testing.T) {
+	spec := Spec{
+		Seed:         "scale-campaign",
+		Reps:         2,
+		Workers:      2,
+		Days:         4,
+		Tents:        4,
+		HostsPerTent: 9,
+	}
+	sum, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 2 || sum.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want 2/0", sum.Completed, sum.Failed)
+	}
+	pt := sum.Points[0]
+	if pt.Tent.Trials != 2*4*9 {
+		t.Fatalf("pooled tent trials %d, want 72", pt.Tent.Trials)
+	}
+	if pt.Control.Trials != 0 {
+		t.Fatalf("scale campaign has no control arm, got %d trials", pt.Control.Trials)
+	}
+	for _, name := range []string{"outside_temp", "outside_rh", "inside_temp", "inside_rh"} {
+		env := pt.Envelopes
+		found := false
+		for _, e := range env {
+			if e.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pooled envelopes missing %s", name)
+		}
+	}
+
+	again, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Points[0].Tent != pt.Tent || again.Points[0].MeanEnergyKWh != pt.MeanEnergyKWh {
+		t.Fatalf("scale campaign not deterministic: %+v vs %+v", again.Points[0].Tent, pt.Tent)
+	}
+}
+
+// TestScaleCampaignRejectsIncompatibleSweeps pins the guard: the sharded
+// engine is open-loop and unmonitored, so those sweep axes must refuse.
+func TestScaleCampaignRejectsIncompatibleSweeps(t *testing.T) {
+	base := Spec{Seed: "scale-campaign", Reps: 1, Tents: 2}
+	for name, mutate := range map[string]func(*Spec){
+		"control": func(s *Spec) { s.Sweep.ControlSetpoints = []float64{4} },
+		"monitor": func(s *Spec) { s.Sweep.MonitorEvery = []time.Duration{20 * time.Minute} },
+		"fleet":   func(s *Spec) { s.Sweep.FleetPairs = []int{9} },
+	} {
+		spec := base
+		mutate(&spec)
+		if _, err := Run(context.Background(), spec); err == nil {
+			t.Fatalf("%s sweep accepted alongside Tents", name)
+		}
+	}
+}

@@ -98,14 +98,13 @@ func (e *Experiment) setupControl() error {
 		}
 		st.inj.Register(damperActuator)
 	}
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		for l := 0; l < control.NumDutyLevels; l++ {
 			duty := e.cfg.dutyFraction(control.DutyLevel(l), hs.host)
 			p, err := thermal.NewProfile(hs.host.Spec.Power(duty),
 				hs.host.Spec.CPUPower(duty), hs.host.Spec.Airflow)
 			if err != nil {
-				return fmt.Errorf("core: host %s duty profile %v: %w", id, control.DutyLevel(l), err)
+				return fmt.Errorf("core: host %s duty profile %v: %w", hs.host.ID, control.DutyLevel(l), err)
 			}
 			hs.profiles[l] = p
 			hs.powers[l] = hs.host.Spec.Power(duty)
@@ -188,8 +187,7 @@ func (e *Experiment) controlTick(now time.Time) {
 // on; a surface far above intake is reported so the guard stays quiet.
 func (e *Experiment) coldestSurface(intake units.Celsius) units.Celsius {
 	coldest := units.Celsius(math.Inf(1))
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if !hs.installed || !hs.online || hs.relocated || hs.host.Location != hardware.Tent {
 			continue
 		}
@@ -210,8 +208,7 @@ func (e *Experiment) applyDutyLevel(now time.Time, l control.DutyLevel) {
 	prev := st.level
 	st.level = l
 	idx := int(l)
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if !hs.installed || hs.relocated {
 			continue
 		}
@@ -247,10 +244,10 @@ type ControlReport struct {
 
 	// Setpoints, PV, Damper and Duty are the loop trajectory at control
 	// cadence; GuardTrips are the condensation-guard onset instants.
-	Setpoints *timeseries.Series
-	PV        *timeseries.Series
-	Damper    *timeseries.Series
-	Duty      *timeseries.Series
+	Setpoints  *timeseries.Series
+	PV         *timeseries.Series
+	Damper     *timeseries.Series
+	Duty       *timeseries.Series
 	GuardTrips []time.Time
 }
 

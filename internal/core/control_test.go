@@ -40,8 +40,8 @@ func testControlTickAllocs(t *testing.T, instrumented bool) {
 		e.InstrumentTelemetry(telemetry.NewRegistry())
 		e.WithTracer(telemetry.NewTracer(1 << 14))
 	}
-	for _, id := range e.order {
-		if err := e.installHost(cfg.Start, e.hosts[id]); err != nil {
+	for _, hs := range e.hosts {
+		if err := e.installHost(cfg.Start, hs); err != nil {
 			t.Fatal(err)
 		}
 	}

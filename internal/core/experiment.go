@@ -27,20 +27,20 @@ type EventKind string
 
 // Experiment event kinds.
 const (
-	EventInstall       EventKind = "install"
-	EventModification  EventKind = "modification"
-	EventTransient     EventKind = "transient-failure"
-	EventRepair        EventKind = "repair"
-	EventRelocation    EventKind = "relocation-indoors"
-	EventSwitchFailure EventKind = "switch-failure"
-	EventChipGlitch    EventKind = "chip-glitch"
-	EventChipLost      EventKind = "chip-undetected"
-	EventChipRecovered EventKind = "chip-recovered"
-	EventBadHash       EventKind = "bad-hash"
-	EventReadout       EventKind = "lascar-readout"
-	EventDiskFailure   EventKind = "disk-failure"
-	EventStorageLost   EventKind = "storage-lost"
-	EventDutyChange    EventKind = "duty-change"
+	EventInstall         EventKind = "install"
+	EventModification    EventKind = "modification"
+	EventTransient       EventKind = "transient-failure"
+	EventRepair          EventKind = "repair"
+	EventRelocation      EventKind = "relocation-indoors"
+	EventSwitchFailure   EventKind = "switch-failure"
+	EventChipGlitch      EventKind = "chip-glitch"
+	EventChipLost        EventKind = "chip-undetected"
+	EventChipRecovered   EventKind = "chip-recovered"
+	EventBadHash         EventKind = "bad-hash"
+	EventReadout         EventKind = "lascar-readout"
+	EventDiskFailure     EventKind = "disk-failure"
+	EventStorageLost     EventKind = "storage-lost"
+	EventDutyChange      EventKind = "duty-change"
 	EventControlFallback EventKind = "control-fallback"
 )
 
@@ -137,7 +137,12 @@ type Experiment struct {
 	gaps     *monitor.GapLedger
 	monRound int
 
-	hosts  map[string]*hostState
+	// hosts is dense host state sorted by host ID — the classic engine's
+	// slice-of-structs counterpart to the sharded engine's
+	// struct-of-arrays layout. byID maps a host ID to its slice index;
+	// order mirrors the sorted IDs for callers that want names.
+	hosts  []*hostState
+	byID   map[string]int
 	order  []string
 	events []Event
 
@@ -214,7 +219,7 @@ func New(cfg Config) (*Experiment, error) {
 		engine:   engine,
 		coll:     monitor.NewCollector(0),
 		gaps:     monitor.NewGapLedger(),
-		hosts:    make(map[string]*hostState),
+		byID:     make(map[string]int),
 		packs:    workload.NewPackCache(),
 	}
 	e.station = weather.NewStation(wx, rng, cfg.StationInterval)
@@ -244,12 +249,16 @@ func New(cfg Config) (*Experiment, error) {
 		}
 		hs.agent = monitor.NewAgent(h.ID, hs.store)
 		engine.RegisterHost(h.ID, h.Spec.KnownDefective)
-		e.hosts[h.ID] = hs
-		e.order = append(e.order, h.ID)
+		// Construction stays in fleet insertion order (the RNG draws above
+		// depend on it); the dense slice is sorted by ID afterwards.
+		e.hosts = append(e.hosts, hs)
 	}
-	sort.Strings(e.order)
-	for i, id := range e.order {
-		e.hosts[id].tid = i + 1
+	sort.Slice(e.hosts, func(i, j int) bool { return e.hosts[i].host.ID < e.hosts[j].host.ID })
+	e.order = make([]string, len(e.hosts))
+	for i, hs := range e.hosts {
+		hs.tid = i + 1
+		e.order[i] = hs.host.ID
+		e.byID[hs.host.ID] = i
 	}
 	if cfg.Control != nil {
 		if err := e.setupControl(); err != nil {
@@ -294,8 +303,7 @@ func (e *Experiment) tentPower() units.Watts { return e.tentW }
 // scratch.
 func (e *Experiment) recomputeTentPower() {
 	var sum units.Watts
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if hs.installed && hs.online && !hs.relocated && hs.host.Location == hardware.Tent {
 			sum += hs.power
 		}
@@ -400,8 +408,8 @@ func (e *Experiment) RunContext(ctx context.Context) (*Results, error) {
 	}
 
 	// Host installs and workload tasks.
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
+		hs := hs
 		at := hs.host.InstalledAt
 		if at.Before(cfg.Start) {
 			at = cfg.Start
@@ -569,8 +577,7 @@ func (e *Experiment) failureTick(now time.Time) error {
 	// One timestamp render serves every host's sensor line this tick.
 	e.tsBuf = now.UTC().AppendFormat(e.tsBuf[:0], time.RFC3339)
 
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if !hs.installed || !hs.online {
 			continue
 		}
@@ -787,8 +794,7 @@ func (e *Experiment) scheduleSwitches() {
 // ledger records them as missed, so coverage is auditable after the run.
 func (e *Experiment) monitorRound(now time.Time) error {
 	rep := monitor.RoundReport{Round: e.monRound + 1, At: now}
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if !hs.installed {
 			continue
 		}
@@ -803,7 +809,7 @@ func (e *Experiment) monitorRound(now time.Time) error {
 		}
 		stats, err := e.collectHost(now, hs)
 		if err != nil {
-			return fmt.Errorf("core: collecting %s: %w", id, err)
+			return fmt.Errorf("core: collecting %s: %w", hs.host.ID, err)
 		}
 		rep.Hosts = append(rep.Hosts, monitor.HostOutcome{
 			HostID:       hs.host.ID,

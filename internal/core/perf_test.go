@@ -38,8 +38,7 @@ func testFailureTickAllocs(t *testing.T, instrumented bool) {
 	// Install every host directly; the tick under measurement then walks
 	// the full fleet.
 	installed := 0
-	for _, id := range e.order {
-		hs := e.hosts[id]
+	for _, hs := range e.hosts {
 		if err := e.installHost(cfg.Start, hs); err != nil {
 			t.Fatal(err)
 		}
@@ -134,18 +133,18 @@ func TestTentPowerCacheMatchesRecompute(t *testing.T) {
 		}
 	}
 	check(cfg.Start)
-	for _, id := range e.order {
-		if err := e.installHost(cfg.Start, e.hosts[id]); err != nil {
+	for _, hs := range e.hosts {
+		if err := e.installHost(cfg.Start, hs); err != nil {
 			t.Fatal(err)
 		}
 		check(cfg.Start)
 	}
 	// Knock hosts through the transient → repair-or-relocate machinery and
 	// re-verify after each state change.
-	hs := e.hosts[e.order[0]]
+	hs := e.hosts[0]
 	e.handleTransient(cfg.Start, hs)
 	check(cfg.Start)
-	e.handleDiskFailure(cfg.Start, e.hosts[e.order[1]], 0)
+	e.handleDiskFailure(cfg.Start, e.hosts[1], 0)
 	check(cfg.Start)
 	// Run past the repair delay so the queued repair/relocation callbacks
 	// fire (the workload tasks re-push forever, so bound by time, not by

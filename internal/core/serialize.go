@@ -159,8 +159,8 @@ type controlStatsDTO struct {
 }
 
 type controlDTO struct {
-	Mode        string  `json:"mode"`
-	SetpointC   float64 `json:"setpoint_c"`
+	Mode         string  `json:"mode"`
+	SetpointC    float64 `json:"setpoint_c"`
 	EnvTempLowC  float64 `json:"env_temp_low_c"`
 	EnvTempHighC float64 `json:"env_temp_high_c"`
 	EnvDewMaxC   float64 `json:"env_dew_max_c"`

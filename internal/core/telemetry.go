@@ -35,8 +35,8 @@ func (e *Experiment) WithTracer(tr *telemetry.Tracer) *Experiment {
 	e.tracer = tr
 	if tr != nil {
 		tr.SetThreadName(0, "experiment")
-		for _, id := range e.order {
-			tr.SetThreadName(e.hosts[id].tid, "host "+id)
+		for _, hs := range e.hosts {
+			tr.SetThreadName(hs.tid, "host "+hs.host.ID)
 		}
 	}
 	return e
@@ -53,8 +53,8 @@ func (e *Experiment) traceEvent(at time.Time, kind EventKind, subject string) {
 		return
 	}
 	tid := 0
-	if hs, ok := e.hosts[subject]; ok {
-		tid = hs.tid
+	if i, ok := e.byID[subject]; ok {
+		tid = e.hosts[i].tid
 	}
 	e.tracer.Instant(string(kind), "event", tid, at)
 }
@@ -93,8 +93,8 @@ func (e *Experiment) InstrumentTelemetry(reg *telemetry.Registry) {
 		"Installed hosts currently online.",
 		func() float64 {
 			n := 0
-			for _, id := range e.order {
-				if hs := e.hosts[id]; hs.installed && hs.online {
+			for _, hs := range e.hosts {
+				if hs.installed && hs.online {
 					n++
 				}
 			}

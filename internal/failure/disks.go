@@ -49,9 +49,10 @@ func (p DiskParams) Validate() error {
 	return nil
 }
 
-// diskHazardPerHour computes a drive's current hazard at the given platter
-// temperature.
-func (p DiskParams) hazardPerHour(temp units.Celsius) float64 {
+// HazardPerHour computes a drive's current hazard at the given platter
+// temperature. Exported so the sharded scale engine can pool per-spec disk
+// hazards without stepping drives through an Engine.
+func (p DiskParams) HazardPerHour(temp units.Celsius) float64 {
 	h := p.BasePerHour
 	if temp > p.HotThreshold {
 		h *= 1 + p.HotPerDegree*float64(temp-p.HotThreshold)
@@ -72,7 +73,7 @@ func (e *Engine) StepDisk(now time.Time, dt time.Duration, diskID string, temp u
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	h := p.hazardPerHour(temp)
+	h := p.HazardPerHour(temp)
 	pFail := 1 - expNeg(h*dt.Hours())
 	// Intern the stream name once per drive: StepDisk runs for every disk
 	// on every failure tick, and the name is stable for the drive's life.

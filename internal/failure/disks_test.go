@@ -57,13 +57,13 @@ func TestDisksRarelyDieInThreeMonths(t *testing.T) {
 
 func TestHotDrivesDieFaster(t *testing.T) {
 	p := DefaultDiskParams()
-	benign := p.hazardPerHour(30)
-	hot := p.hazardPerHour(60)
+	benign := p.HazardPerHour(30)
+	hot := p.HazardPerHour(60)
 	if hot <= benign {
 		t.Errorf("hot hazard %v not above benign %v", hot, benign)
 	}
 	// Cold adds only a mild penalty — §4's finding extends to drives.
-	cold := p.hazardPerHour(-20)
+	cold := p.HazardPerHour(-20)
 	if cold <= benign {
 		t.Errorf("deep-cold hazard %v not above benign %v", cold, benign)
 	}

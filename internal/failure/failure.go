@@ -150,6 +150,54 @@ func DefaultParams() Params {
 	}
 }
 
+// WeakFraction returns the weak-unit lottery probability for a unit that
+// is (or is not) from a known-defective series.
+func (p Params) WeakFraction(knownDefective bool) float64 {
+	if knownDefective {
+		return p.WeakFractionDefective
+	}
+	return p.WeakFractionHealthy
+}
+
+// StressMultiplier returns the environmental hazard multiplier for the
+// given stress. The transient hazard is the weak-or-base rate times this
+// factor; exposing it lets the sharded scale engine compute one multiplier
+// per tent-tick and share it across every host under that envelope.
+func (p Params) StressMultiplier(s Stress) float64 {
+	mult := 1.0
+	if s.CaseAir > p.HotCaseThreshold {
+		mult += p.HotCasePerDegree * float64(s.CaseAir-p.HotCaseThreshold)
+	}
+	mult += p.CyclingPerDegreePerHour * s.TempRatePerHour
+	if s.RH > p.ExtremeRHThreshold {
+		mult *= p.ExtremeRHFactor
+	}
+	if s.Condensing {
+		mult *= p.CondensationFactor
+	}
+	return mult
+}
+
+// TransientHazardPerHour returns a host's transient hazard under stress,
+// with the same float operation order as Engine stepping.
+func (p Params) TransientHazardPerHour(weak bool, s Stress) float64 {
+	h := p.BaseTransientPerHour
+	if weak {
+		h = p.WeakTransientPerHour
+	}
+	return h * p.StressMultiplier(s)
+}
+
+// PageCorruptionProb returns the probability that one workload cycle
+// touching the given number of pages on non-ECC memory suffers at least
+// one silent corruption.
+func (p Params) PageCorruptionProb(pages int64) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	return 1 - powOneMinus(p.PageFailureRate, pages)
+}
+
 // Validate checks parameter sanity.
 func (p Params) Validate() error {
 	if p.BaseTransientPerHour < 0 || p.WeakTransientPerHour < p.BaseTransientPerHour {
@@ -214,12 +262,8 @@ func (e *Engine) RegisterHost(hostID string, knownDefective bool) {
 	if _, done := e.hosts[hostID]; done {
 		return
 	}
-	frac := e.params.WeakFractionHealthy
-	if knownDefective {
-		frac = e.params.WeakFractionDefective
-	}
 	e.hosts[hostID] = &hostRec{
-		weak:      e.rng.Bernoulli("weak/"+hostID, frac),
+		weak:      e.rng.Bernoulli("weak/"+hostID, e.params.WeakFraction(knownDefective)),
 		sysStream: "host/" + hostID,
 		memStream: "mem/" + hostID,
 	}
@@ -233,23 +277,7 @@ func (e *Engine) Weak(hostID string) bool {
 
 // hazardPerHour computes a host's current transient hazard.
 func (e *Engine) hazardPerHour(rec *hostRec, s Stress) float64 {
-	p := e.params
-	h := p.BaseTransientPerHour
-	if rec.weak {
-		h = p.WeakTransientPerHour
-	}
-	mult := 1.0
-	if s.CaseAir > p.HotCaseThreshold {
-		mult += p.HotCasePerDegree * float64(s.CaseAir-p.HotCaseThreshold)
-	}
-	mult += p.CyclingPerDegreePerHour * s.TempRatePerHour
-	if s.RH > p.ExtremeRHThreshold {
-		mult *= p.ExtremeRHFactor
-	}
-	if s.Condensing {
-		mult *= p.CondensationFactor
-	}
-	return h * mult
+	return e.params.TransientHazardPerHour(rec.weak, s)
 }
 
 // StepHost advances one host by dt under the given stress and returns the
@@ -313,7 +341,7 @@ func (e *Engine) CycleCorrupted(hostID string, pages int64, ecc bool) bool {
 	if ecc || pages <= 0 {
 		return false
 	}
-	p := 1 - powOneMinus(e.params.PageFailureRate, pages)
+	p := e.params.PageCorruptionProb(pages)
 	stream, ok := e.memStream(hostID)
 	if !ok {
 		stream = "mem/" + hostID // unregistered host: preserve the old name

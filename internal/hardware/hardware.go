@@ -105,6 +105,37 @@ func (l StorageLayout) SurvivesDiskFailures(failed []int) bool {
 	}
 }
 
+// SurvivesDiskMask is SurvivesDiskFailures over a dead-drive bitmask
+// (bit i set = drive i dead, drives beyond the layout ignored). It
+// allocates nothing, which lets the sharded scale engine keep its
+// disk-cascade path on the zero-allocation budget.
+func (l StorageLayout) SurvivesDiskMask(dead uint32) bool {
+	n := l.DiskCount()
+	if n == 0 {
+		return false
+	}
+	dead &= 1<<uint(n) - 1
+	switch l {
+	case SoftwareMirror:
+		return dead&0b11 != 0b11
+	case SingleDisk, PrototypeDisk:
+		return dead == 0
+	case MirrorPlusParityStripe:
+		if dead&0b11 == 0b11 {
+			return false
+		}
+		parityLost := 0
+		for i := 2; i <= 4; i++ {
+			if dead&(1<<uint(i)) != 0 {
+				parityLost++
+			}
+		}
+		return parityLost <= 1
+	default:
+		return false
+	}
+}
+
 // Spec is the full description of one machine model.
 type Spec struct {
 	Vendor     Vendor
@@ -222,6 +253,11 @@ type Host struct {
 	InstalledAt time.Time
 	// TwinID names the pairwise-identical host in the other group, if any.
 	TwinID string
+	// TentID names the enclosure a tent-located host sits in. The paper's
+	// fleet shares one tent and leaves it empty; synthetic scale fleets
+	// (SyntheticFleet) group hosts into many tents, and the sharded core
+	// engine uses the grouping as its unit of parallelism.
+	TentID string
 	// ReplacementFor names the host this one replaced, if any ("19"
 	// replaced "15").
 	ReplacementFor string

@@ -1,0 +1,99 @@
+package hardware
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntheticFleetShape(t *testing.T) {
+	f, err := SyntheticFleet(12, 9, "scale-test")
+	if err != nil {
+		t.Fatalf("SyntheticFleet: %v", err)
+	}
+	all := f.All()
+	if len(all) != 12*9 {
+		t.Fatalf("got %d hosts, want %d", len(all), 12*9)
+	}
+	perTent := map[string]map[Vendor]int{}
+	for _, h := range all {
+		if h.Location != Tent {
+			t.Fatalf("host %s location %q, want tent", h.ID, h.Location)
+		}
+		if h.TentID == "" || !strings.HasPrefix(h.ID, h.TentID+"/") {
+			t.Fatalf("host %s tent ID %q does not prefix its ID", h.ID, h.TentID)
+		}
+		if h.InstalledAt != InstallStart {
+			t.Fatalf("host %s installed at %v, want %v", h.ID, h.InstalledAt, InstallStart)
+		}
+		if perTent[h.TentID] == nil {
+			perTent[h.TentID] = map[Vendor]int{}
+		}
+		perTent[h.TentID][h.Spec.Vendor]++
+	}
+	if len(perTent) != 12 {
+		t.Fatalf("got %d tents, want 12", len(perTent))
+	}
+	// Every tent carries the paper's nine-host vendor mix: 5×A, 2×B, 2×C.
+	for tent, mix := range perTent {
+		if mix[VendorA] != 5 || mix[VendorB] != 2 || mix[VendorC] != 2 {
+			t.Fatalf("tent %s vendor mix %v, want 5×A 2×B 2×C", tent, mix)
+		}
+	}
+}
+
+func TestSyntheticFleetDeterministicAndSeedSensitive(t *testing.T) {
+	a, err := SyntheticFleet(4, 13, "seed-one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticFleet(4, 13, "seed-one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SyntheticFleet(4, 13, "seed-two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i, ha := range a.All() {
+		hb, hc := b.All()[i], c.All()[i]
+		if ha.ID != hb.ID || ha.Spec.Vendor != hb.Spec.Vendor {
+			t.Fatalf("same seed diverged at index %d: %s/%s vs %s/%s",
+				i, ha.ID, ha.Spec.Vendor, hb.ID, hb.Spec.Vendor)
+		}
+		if ha.ID != hc.ID {
+			t.Fatalf("seed changed host IDs at index %d: %s vs %s", i, ha.ID, hc.ID)
+		}
+		if ha.Spec.Vendor != hc.Spec.Vendor {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical vendor placements")
+	}
+}
+
+func TestSyntheticFleetSortKeepsTentsContiguous(t *testing.T) {
+	f, err := SyntheticFleet(11, 101, "contig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := f.All()
+	// Insertion order is already sorted order: zero-padded IDs make the
+	// lexicographic and construction orders coincide, which the sharded
+	// engine relies on for contiguous tent ranges.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("IDs not strictly increasing: %q then %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestSyntheticFleetRejectsBadShape(t *testing.T) {
+	if _, err := SyntheticFleet(0, 9, "x"); err == nil {
+		t.Fatal("want error for zero tents")
+	}
+	if _, err := SyntheticFleet(3, 0, "x"); err == nil {
+		t.Fatal("want error for zero hosts per tent")
+	}
+}

@@ -30,12 +30,12 @@ func TestCampaignRendering(t *testing.T) {
 		Points: []*campaign.PointAggregate{{
 			Label:     "base",
 			Completed: 31, Failed: 1,
-			Errors:        []string{"rep 7: panic: injected"},
-			Tent:          stats.Rate{Events: 16, Trials: 279},
-			Control:       stats.Rate{Events: 1, Trials: 279},
-			Initial:       stats.Rate{Events: 17, Trials: 558},
-			TentMeanLo:    0.02, TentMeanHi: 0.09, HaveTentMean: true,
-			FisherP:       0.0003, HaveFisher: true,
+			Errors:     []string{"rep 7: panic: injected"},
+			Tent:       stats.Rate{Events: 16, Trials: 279},
+			Control:    stats.Rate{Events: 1, Trials: 279},
+			Initial:    stats.Rate{Events: 17, Trials: 558},
+			TentMeanLo: 0.02, TentMeanHi: 0.09, HaveTentMean: true,
+			FisherP: 0.0003, HaveFisher: true,
 			WrongHash:     stats.Rate{Events: 150, Trials: 850_000},
 			MeanEnergyKWh: 230.4,
 			Envelopes:     []campaign.Envelope{env},

@@ -81,7 +81,7 @@ func DefaultChipConfig() ChipConfig {
 
 // Chip emulates one motherboard sensor chip as read via lm-sensors.
 type Chip struct {
-	cfg      ChipConfig
+	cfg    ChipConfig
 	rng    *simkernel.RNG
 	stream string
 	// noiseStream is the precomputed stream+"/noise" name, so the per-read

@@ -227,6 +227,17 @@ func (t *Tent) solarGain(irr units.WattsPerSquareMeter) float64 {
 	return a * float64(irr)
 }
 
+// Equilibrium returns the quasi-steady inside air temperature under the
+// given outside conditions and equipment power: the fixed point of Step's
+// heat balance, outside.Temp + (equipment + solar gain)/conductance. The
+// tent's thermal time constant (≈20 min at base conductance) is short
+// against the scale engine's 15-minute failure tick, so the sharded core
+// uses this algebraic envelope instead of integrating every minute.
+func (t *Tent) Equilibrium(outside weather.Conditions, equipment units.Watts) units.Celsius {
+	g := t.conductance(outside.Wind)
+	return outside.Temp + units.Celsius((float64(equipment)+t.solarGain(outside.Irradiance))/g)
+}
+
 // Step advances the tent by dt given the outside conditions and the total
 // equipment power dissipated inside. Call it with small steps (a minute or
 // less) — it uses a stabilised explicit Euler update.

@@ -1,0 +1,35 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSyntheticCloneSamePath(t *testing.T) {
+	base := ReferenceWinter0910("clone-test")
+	clone := base.Clone()
+	for i := 0; i < 200; i++ {
+		at := ExperimentEpoch.Add(time.Duration(i) * 131 * time.Minute)
+		if got, want := clone.At(at), base.At(at); got != want {
+			t.Fatalf("clone diverged at %v: %+v vs %+v", at, got, want)
+		}
+	}
+	// The clone's memo must be private: warming one model's memo at one
+	// instant must not change what the other returns elsewhere.
+	t1, t2 := ExperimentEpoch.Add(time.Hour), ExperimentEpoch.Add(2*time.Hour)
+	base.At(t1)
+	if got, want := clone.At(t2), base.Clone().At(t2); got != want {
+		t.Fatalf("memo leaked across clones: %+v vs %+v", got, want)
+	}
+}
+
+func TestSyntheticImplementsCloner(t *testing.T) {
+	var m Model = ReferenceWinter0910("iface")
+	c, ok := m.(Cloner)
+	if !ok {
+		t.Fatal("*Synthetic should implement Cloner")
+	}
+	if c.CloneModel() == m {
+		t.Fatal("CloneModel returned the same instance")
+	}
+}

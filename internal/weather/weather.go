@@ -45,6 +45,16 @@ type Model interface {
 	At(t time.Time) Conditions
 }
 
+// Cloner is a Model that can produce independent copies of itself. The
+// sharded core engine clones its weather model once per shard: conditions
+// are a pure function of time, but models may memoize (Synthetic does), so
+// concurrent shards need private copies to stay race-free while observing
+// identical sample paths.
+type Cloner interface {
+	Model
+	CloneModel() Model
+}
+
 // HelsinkiLatitude is the latitude of the experiment site in degrees north.
 const HelsinkiLatitude = 60.2
 
@@ -233,6 +243,19 @@ func (s *Synthetic) At(t time.Time) Conditions {
 	s.memoT, s.memoC, s.memoOK = t, c, true
 	return c
 }
+
+// Clone returns an independent copy of the model with a cold memo. The
+// harmonic mixtures are immutable after construction and shared; only the
+// per-instant memo is private, so clones evaluate the exact same pure
+// function of time without racing on the cache.
+func (s *Synthetic) Clone() *Synthetic {
+	c := *s
+	c.memoT, c.memoC, c.memoOK = time.Time{}, Conditions{}, false
+	return &c
+}
+
+// CloneModel implements Cloner.
+func (s *Synthetic) CloneModel() Model { return s.Clone() }
 
 func (s *Synthetic) eval(t time.Time) Conditions {
 	elev := SolarElevation(s.latitude, t)
