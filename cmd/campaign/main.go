@@ -19,7 +19,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -102,7 +101,7 @@ func run() error {
 		reg := telemetry.NewRegistry()
 		spec.Metrics = campaign.NewMetrics(reg)
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+			if err := telemetry.NewServer(*debugAddr, telemetry.DebugMux(reg, true)).ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "campaign: debug listener:", err)
 			}
 		}()

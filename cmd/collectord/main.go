@@ -19,10 +19,18 @@
 //	           [-timeout 10s] [-round-timeout 5m] [-retries 3] [-backoff 2s]
 //	           [-breaker-trip 3] [-breaker-cooldown 3] [-http 127.0.0.1:8080]
 //	           [-debug-addr 127.0.0.1:6060] [-mirror-retain 0] [-tsdb-dir tsdb/]
+//	           [-pool] [-ingest-queue 4] [-max-inflight 64] [-scrape-cache 1s]
 //
 // The dashboard (-http) serves /metrics and /buildinfo alongside the
 // status endpoints; -debug-addr opens a second listener with /metrics,
-// /healthz, /buildinfo, and net/http/pprof for live profiling.
+// /healthz, /buildinfo, and net/http/pprof for live profiling. The
+// dashboard is overload-hardened: -max-inflight bounds concurrent
+// requests (the rest get 503 + Retry-After; /healthz always answers),
+// and -scrape-cache coalesces identical scrape reads within a round.
+// -pool keeps authenticated agent sessions alive across rounds, and
+// -ingest-queue bounds the post-round flush backlog, shedding the
+// oldest round (counted in frostlab_ingest_shed_total) when the disk
+// cannot keep up.
 //
 // Every numeric sample the mirrored logs carry is additionally parsed
 // into an embedded compressed time-series store (internal/tsdb), served
@@ -41,7 +49,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +92,10 @@ func run() error {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address")
 	mirrorRetain := flag.Int("mirror-retain", 0, "cap each mirrored file at this many raw bytes, evicting oldest lines first (0 = unbounded)")
 	tsdbDir := flag.String("tsdb-dir", "", "checkpoint the compressed sample store into this directory after each round and restore it at startup")
+	pool := flag.Bool("pool", true, "keep authenticated agent sessions alive across rounds instead of redialling")
+	ingestQueue := flag.Int("ingest-queue", 4, "bound on pending post-round flush/checkpoint jobs; the oldest round is shed (and counted) when full")
+	maxInflight := flag.Int("max-inflight", 64, "dashboard admission watermark: concurrent requests past it get 503 + Retry-After")
+	scrapeCache := flag.Duration("scrape-cache", time.Second, "cache hot dashboard scrape responses for this long within a round (0 = off)")
 	flag.Parse()
 
 	if *hostsFlag == "" {
@@ -146,12 +157,21 @@ func run() error {
 		PhaseTimeout: *timeout,
 		RoundTimeout: *roundTimeout,
 		Jitter:       monitor.DeterministicJitter(*keyseed),
+		Pool:         poolConfig(*pool),
 	})
 	if err != nil {
 		return err
 	}
+	// Post-round flush and checkpoint work runs behind a bounded queue:
+	// a slow disk can no longer stretch the collection cadence, and when
+	// it falls behind, the oldest round's ingestion is shed — loudly.
+	queue := monitor.NewIngestQueue(*ingestQueue)
+	queue.OnShed(func(job monitor.IngestJob) {
+		fmt.Fprintf(os.Stderr, "ingest queue full: shed round %d flush (see frostlab_ingest_shed_total)\n", job.Round)
+	})
 	reg := telemetry.NewRegistry()
 	fc.Instrument(reg)
+	queue.Instrument(reg)
 	reg.GaugeFunc("frostlab_mirror_bytes",
 		"Raw log bytes currently held across all host mirrors (bounded by -mirror-retain).",
 		func() float64 { return float64(coll.MirrorBytes()) })
@@ -168,10 +188,15 @@ func run() error {
 		"Parsed samples the store rejected (out-of-order timestamps).",
 		func() float64 { return float64(samples.Dropped()) })
 
+	var dashSrv *dash.Server
 	if *httpAddr != "" {
-		srv := dash.NewServer(coll, ids, time.Now()).WithLedger(fc.Ledger()).WithTelemetry(reg)
+		dashSrv = dash.NewServer(coll, ids, time.Now()).
+			WithLedger(fc.Ledger()).
+			WithAdmission(*maxInflight, *backoff).
+			WithScrapeCache(*scrapeCache).
+			WithTelemetry(reg)
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, srv.Handler()); err != nil {
+			if err := telemetry.NewServer(*httpAddr, dashSrv.Handler()).ListenAndServe(); err != nil {
 				fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
 			}
 		}()
@@ -179,7 +204,7 @@ func run() error {
 	}
 	if *debugAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+			if err := telemetry.NewServer(*debugAddr, telemetry.DebugMux(reg, true)).ListenAndServe(); err != nil {
 				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
 			}
 		}()
@@ -189,15 +214,23 @@ func run() error {
 	for round := 1; *rounds == 0 || round <= *rounds; round++ {
 		rep := fc.Round(ctx, time.Now())
 		logRound(rep)
-		if *dir != "" {
-			if err := flushMirrors(coll, ids, *dir); err != nil {
-				return err
+		// Flush and checkpoint asynchronously behind the bounded queue;
+		// the next round starts on schedule whatever the disk is doing.
+		queue.Offer(monitor.IngestJob{Round: round, Run: func() error {
+			if *dir != "" {
+				if err := flushMirrors(coll, ids, *dir); err != nil {
+					return fmt.Errorf("flush: %w", err)
+				}
 			}
-		}
-		if *tsdbDir != "" {
-			if err := checkpointSamples(samples, *tsdbDir); err != nil {
-				return err
+			if *tsdbDir != "" {
+				if err := checkpointSamples(samples, *tsdbDir); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
 			}
+			return nil
+		}})
+		if dashSrv != nil {
+			dashSrv.InvalidateScrapeCache()
 		}
 		if ctx.Err() != nil {
 			break
@@ -210,7 +243,14 @@ func run() error {
 		}
 	}
 
-	// Final flush and gap accounting on the way out.
+	// Shutdown: retire pooled keepalives with a clean bye, drain the
+	// ingest queue, then run one final synchronous flush so the on-disk
+	// state reflects the last round even if its queued job was shed.
+	fc.Close()
+	queue.Close()
+	if st := queue.Stats(); st.Shed > 0 {
+		fmt.Fprintf(os.Stderr, "ingest queue shed %d of %d rounds (disk could not keep up)\n", st.Shed, st.Offered)
+	}
 	if *dir != "" {
 		if err := flushMirrors(coll, ids, *dir); err != nil {
 			return err
@@ -247,6 +287,14 @@ func logRound(rep monitor.RoundReport) {
 	}
 	fmt.Printf("round %d complete: %d/%d hosts (coverage %.2f), %d literal bytes (%.1f%% saved)\n",
 		rep.Round, rep.Collected(), len(rep.Hosts), rep.Coverage(), literal, saved)
+}
+
+// poolConfig maps the -pool flag onto FleetConfig.Pool.
+func poolConfig(enabled bool) *monitor.PoolConfig {
+	if !enabled {
+		return nil
+	}
+	return &monitor.PoolConfig{}
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

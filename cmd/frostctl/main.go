@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control] [-monitor 20m]
+//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control|serve] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events] [-trace out.json]
 //	frostctl -tents N [-hosts-per-tent 9] [-shards K] [-days N] [-csv DIR] [-save out.json]
 //
@@ -18,6 +18,10 @@
 // -phase control runs the E14 free-cooling control study: the winter and
 // spring scenarios open-loop vs closed-loop, with envelope residency
 // measured identically for every arm (see -control-* flags).
+// -phase serve runs the E15 serving-load study: the loadgen driver's
+// warmup/ramp/sustain/spike profile against the production serving plane
+// (keepalive pool, bounded ingest, admission control), writing the full
+// report to BENCH_SERVE.json (see -serve-* flags).
 // -trace records the run as Chrome trace-event JSON — open it in
 // chrome://tracing or https://ui.perfetto.dev to see the experiment
 // timeline: per-host outage spans, install/repair instants, monitoring
@@ -25,11 +29,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"frostlab/internal/core"
@@ -50,7 +57,7 @@ func main() {
 
 func run() error {
 	seed := flag.String("seed", core.ReferenceSeed, "master RNG seed")
-	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control")
+	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control | serve")
 	monitor := flag.Duration("monitor", 20*time.Minute, "monitoring cadence (0 disables the rsync plane)")
 	days := flag.Int("days", 0, "override the normal-phase length in days (0 = paper horizon)")
 	csvDir := flag.String("csv", "", "write temperature/humidity CSVs into this directory")
@@ -64,6 +71,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "shard count for the synthetic fleet; <= 0 selects GOMAXPROCS. Results are byte-identical at any shard count or GOMAXPROCS; more shards than cores adds overhead without speedup")
 	ch := chaosFlags()
 	co := controlFlags()
+	se := serveFlags()
 	flag.Parse()
 
 	if *tents > 0 {
@@ -78,6 +86,11 @@ func run() error {
 	}
 	if *phase == "control" {
 		return runControlStudy(*seed, co)
+	}
+	if *phase == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runServeStudy(ctx, *seed, se)
 	}
 
 	if *phase == "all" || *phase == "prototype" {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"frostlab/internal/loadgen"
+)
+
+// The E15 serving-load study (-phase serve): the loadgen driver runs a
+// simulated nodeagent fleet plus a concurrent scraper fleet through the
+// warmup/ramp/sustain/spike profile against the production serving
+// wiring — keepalive-pooled collection, bounded ingest queue, dash with
+// admission control and scrape caching — and reports HDR latency
+// quantiles, shed counts, pool/ingest accounting, and liveness. The
+// arrival schedule is a pure function of the seed, so the same seed and
+// flags replay the same offered load.
+
+type serveOpts struct {
+	agents     *int
+	scrapers   *int
+	rate       *float64
+	spikeX     *float64
+	warmup     *time.Duration
+	ramp       *time.Duration
+	sustain    *time.Duration
+	spike      *time.Duration
+	roundEvery *time.Duration
+	queue      *int
+	inflight   *int
+	cacheTTL   *time.Duration
+	pStale     *float64
+	out        *string
+}
+
+func serveFlags() serveOpts {
+	return serveOpts{
+		agents:     flag.Int("serve-agents", 64, "simulated nodeagent fleet size for -phase serve"),
+		scrapers:   flag.Int("serve-scrapers", 16, "concurrent scraper clients for -phase serve"),
+		rate:       flag.Float64("serve-rate", 400, "sustain-phase offered load in requests/second"),
+		spikeX:     flag.Float64("serve-spike-x", 5, "spike-phase load as a multiple of -serve-rate"),
+		warmup:     flag.Duration("serve-warmup", 500*time.Millisecond, "warmup phase duration (quarter rate)"),
+		ramp:       flag.Duration("serve-ramp", 500*time.Millisecond, "ramp phase duration (linear to full rate)"),
+		sustain:    flag.Duration("serve-sustain", 3*time.Second, "sustain phase duration (full rate)"),
+		spike:      flag.Duration("serve-spike", time.Second, "spike phase duration (rate × -serve-spike-x)"),
+		roundEvery: flag.Duration("serve-round-every", 250*time.Millisecond, "collection-round cadence during the run"),
+		queue:      flag.Int("serve-queue", 4, "ingest queue capacity (rounds; oldest shed when full)"),
+		inflight:   flag.Int("serve-inflight", 64, "dash admission watermark (concurrent requests before 503)"),
+		cacheTTL:   flag.Duration("serve-cache-ttl", time.Second, "dash scrape-cache TTL"),
+		pStale:     flag.Float64("serve-stale", 0.05, "per-(host,round) probability a pooled keepalive went stale"),
+		out:        flag.String("serve-out", "BENCH_SERVE.json", "write the full report as JSON to this file (\"\" disables)"),
+	}
+}
+
+// runServeStudy drives E15 and gates on its invariants: the study exits
+// non-zero if any request went unaccounted, any healthz probe failed, or
+// the ingest queue's accounting does not balance — so CI can assert
+// graceful degradation by exit status alone.
+func runServeStudy(ctx context.Context, seed string, o serveOpts) error {
+	cfg := loadgen.Config{
+		Seed:        seed + "/serve",
+		Agents:      *o.agents,
+		Scrapers:    *o.scrapers,
+		SustainRate: *o.rate, SpikeMultiplier: *o.spikeX,
+		Warmup: *o.warmup, Ramp: *o.ramp, Sustain: *o.sustain, Spike: *o.spike,
+		RoundEvery:    *o.roundEvery,
+		QueueCapacity: *o.queue,
+		MaxInflight:   *o.inflight,
+		CacheTTL:      *o.cacheTTL,
+		PStaleConn:    *o.pStale,
+	}
+	fmt.Printf("E15 serving-load study: %d agents, %d scrapers, %.0f rps sustain (spike ×%.1f), seed %q\n",
+		*o.agents, *o.scrapers, *o.rate, *o.spikeX, seed)
+	fmt.Printf("profile: warmup %v, ramp %v, sustain %v, spike %v; rounds every %v; watermark %d; queue %d; p(stale) %.2f\n\n",
+		*o.warmup, *o.ramp, *o.sustain, *o.spike, *o.roundEvery, *o.inflight, *o.queue, *o.pStale)
+
+	started := time.Now()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %9s %9s %9s %7s %8s %9s  %8s %8s %8s %8s\n",
+		"phase", "arrivals", "ok", "rejected", "errors", "dropped", "cachehit",
+		"p50ms", "p99ms", "p999ms", "maxms")
+	for _, p := range rep.Phases {
+		fmt.Printf("%-8s %9d %9d %9d %7d %8d %9d  %8.2f %8.2f %8.2f %8.2f\n",
+			p.Phase, p.Arrivals, p.OK, p.Rejected, p.Errors, p.Dropped, p.CacheHits,
+			p.P50Ms, p.P99Ms, p.P999Ms, p.MaxMs)
+	}
+	fmt.Println()
+	fmt.Printf("collection: %d rounds, %d/%d host-rounds ok (%d failed, %d skipped), coverage %.4f, p99 %.1fms\n",
+		rep.RoundsPlane.Rounds, rep.RoundsPlane.OK, rep.RoundsPlane.HostRounds,
+		rep.RoundsPlane.Failed, rep.RoundsPlane.Skipped, rep.RoundsPlane.Coverage, rep.RoundsPlane.P99Ms)
+	fmt.Printf("pool:       %.0f dials, %.0f hits, %.0f stale, %.0f retired, %d idle at close\n",
+		rep.Pool.Dials, rep.Pool.Hits, rep.Pool.Stale, rep.Pool.Retired, rep.Pool.Idle)
+	fmt.Printf("ingest:     %d offered = %d done + %d shed + %d failed (max depth %d)\n",
+		rep.Ingest.Offered, rep.Ingest.Done, rep.Ingest.Shed, rep.Ingest.Failed, rep.Ingest.MaxDepth)
+	fmt.Printf("liveness:   %d healthz probes, %d failures; goroutines %d -> %d; mirrors %d bytes\n",
+		rep.Healthz.Probes, rep.Healthz.Failures, rep.Goroutines.Before, rep.Goroutines.After, rep.MirrorBytes)
+	fmt.Printf("wall time:  %v\n", time.Since(started).Round(time.Millisecond))
+
+	if *o.out != "" {
+		f, err := os.Create(*o.out)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("report written to %s\n", *o.out)
+	}
+
+	// Invariant gates: a study that sheds load is healthy; a study that
+	// loses track of load, or goes dark, is not.
+	if n := rep.Unaccounted(); n != 0 {
+		return fmt.Errorf("E15: %d requests unaccounted (arrivals != ok+rejected+errors+dropped)", n)
+	}
+	if rep.Healthz.Failures > 0 {
+		return fmt.Errorf("E15: healthz failed %d of %d probes under load", rep.Healthz.Failures, rep.Healthz.Probes)
+	}
+	if rep.Ingest.Offered != rep.Ingest.Done+rep.Ingest.Shed+rep.Ingest.Failed {
+		return fmt.Errorf("E15: ingest accounting broken: %+v", rep.Ingest)
+	}
+	return nil
+}

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	nodeagent -id 01 [-listen 127.0.0.1:7701] [-keyseed winter0910]
-//	          [-cycle 10m] [-cycles 0] [-drain 30s]
+//	          [-cycle 10m] [-cycles 0] [-drain 30s] [-max-sessions 64]
 //	          [-debug-addr 127.0.0.1:6061]
 //
 // Keys are derived as SHA-256(keyseed/psk/<id>), matching collectord.
@@ -27,7 +27,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -52,6 +51,7 @@ type agentMetrics struct {
 	collections   *telemetry.Counter
 	serveErrors   *telemetry.Counter
 	handshakeErrs *telemetry.Counter
+	rejected      *telemetry.Counter
 	inflight      *telemetry.Gauge
 }
 
@@ -69,6 +69,8 @@ func newAgentMetrics(reg *telemetry.Registry) *agentMetrics {
 			"Collection sessions that ended in a protocol error."),
 		handshakeErrs: reg.NewCounter("frostlab_agent_handshake_failures_total",
 			"Inbound connections that failed authentication."),
+		rejected: reg.NewCounter("frostlab_agent_sessions_rejected_total",
+			"Inbound connections closed immediately because -max-sessions were already in flight."),
 		inflight: reg.NewGauge("frostlab_agent_inflight_collections",
 			"Collection sessions currently being served."),
 	}
@@ -100,6 +102,7 @@ func run() error {
 	cycle := flag.Duration("cycle", 10*time.Minute, "workload cycle period (§3.5: 10 minutes)")
 	cycles := flag.Int("cycles", 0, "stop the workload after N cycles (0 = forever)")
 	drain := flag.Duration("drain", 30*time.Second, "max wait for in-flight collections on shutdown")
+	maxSessions := flag.Int("max-sessions", 64, "cap concurrent collection sessions; excess connections are closed immediately (0 = unbounded)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /buildinfo and net/http/pprof on this address")
 	flag.Parse()
 
@@ -141,7 +144,7 @@ func run() error {
 	met := newAgentMetrics(reg)
 	if *debugAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg, true)); err != nil {
+			if err := telemetry.NewServer(*debugAddr, telemetry.DebugMux(reg, true)).ListenAndServe(); err != nil {
 				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
 			}
 		}()
@@ -203,6 +206,16 @@ func run() error {
 		ln.Close()
 	}()
 
+	// Session semaphore: a misbehaving (or overloaded) collector cannot
+	// pile unbounded concurrent sessions — and their goroutines — onto
+	// one agent. Excess connections fail fast with an immediate close,
+	// which the collector's retry path handles like any refused dial.
+	// Rejected connections never enter the inflight group, so the
+	// -drain shutdown wait composes: it only waits for real sessions.
+	var sem chan struct{}
+	if *maxSessions > 0 {
+		sem = make(chan struct{}, *maxSessions)
+	}
 	var inflight sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
@@ -215,8 +228,20 @@ func run() error {
 			}
 			return err
 		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				met.rejected.Inc()
+				conn.Close()
+				continue
+			}
+		}
 		inflight.Add(1)
 		go func() {
+			if sem != nil {
+				defer func() { <-sem }()
+			}
 			defer inflight.Done()
 			defer conn.Close()
 			met.inflight.Inc()

@@ -111,6 +111,15 @@ type Spec struct {
 	// StallDelay is attached to every drawn stall fault (see Fault).
 	StallDelay time.Duration
 
+	// PStaleConn is the per-(host, round) probability that a keepalive
+	// session parked in the collector's connection pool went stale while
+	// idle — the agent restarted, a NAT entry expired — and is severed
+	// before pickup. It is a separate fault channel from the per-attempt
+	// probabilities above (a stale keepalive costs a health-check round
+	// trip and a redial, never a failed attempt), so it is validated in
+	// [0,1] on its own and not summed with them.
+	PStaleConn float64
+
 	// Down scripts agent crash/restart schedules: every dial to the host
 	// is refused while any listed range contains the round.
 	Down map[string][]RoundRange
@@ -131,6 +140,9 @@ func (s Spec) Validate() error {
 	}
 	if sum > 1 {
 		return fmt.Errorf("chaos: fault probabilities sum to %v > 1", sum)
+	}
+	if s.PStaleConn < 0 || s.PStaleConn > 1 {
+		return fmt.Errorf("chaos: PStaleConn %v outside [0,1]", s.PStaleConn)
 	}
 	for host, ranges := range s.Down {
 		for _, rr := range ranges {
@@ -206,6 +218,22 @@ func (in *Injector) FaultFor(host string, round, attempt int) Fault {
 		return Fault{}
 	}
 	return f
+}
+
+// StaleConn draws whether the host's pooled keepalive session went stale
+// before the given round's pickup. It is the hook shape monitor expects
+// as PoolConfig.Fault. One named stream per (host, round) keeps the draw
+// a pure function of (seed, host, round): which worker collects the host,
+// and whether a pool is even configured elsewhere in the fleet, cannot
+// shift it.
+func (in *Injector) StaleConn(host string, round int) bool {
+	if in.spec.PStaleConn == 0 {
+		return false
+	}
+	stream := fmt.Sprintf("pool/%s/r%d", host, round)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Bernoulli(stream, in.spec.PStaleConn)
 }
 
 func inRanges(ranges []RoundRange, round int) bool {

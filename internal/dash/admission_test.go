@@ -1,0 +1,203 @@
+package dash
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frostlab/internal/monitor"
+	"frostlab/internal/telemetry"
+)
+
+// blockingWriter is a ResponseWriter whose first Write parks until
+// released, so a test can deterministically hold an in-flight slot.
+type blockingWriter struct {
+	h       http.Header
+	entered chan struct{} // closed once the handler is mid-write
+	release chan struct{} // close to let the write finish
+	once    sync.Once
+}
+
+func newBlockingWriter() *blockingWriter {
+	return &blockingWriter{
+		h:       make(http.Header),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (bw *blockingWriter) Header() http.Header { return bw.h }
+func (bw *blockingWriter) WriteHeader(int)     {}
+func (bw *blockingWriter) Write(b []byte) (int, error) {
+	bw.once.Do(func() {
+		close(bw.entered)
+		<-bw.release
+	})
+	return len(b), nil
+}
+
+func TestAdmissionShedsPastWatermark(t *testing.T) {
+	coll := monitor.NewCollector(0)
+	s := NewServer(coll, []string{"01"}, t0).WithAdmission(1, 3*time.Second)
+	h := s.Handler()
+
+	// Occupy the single slot with a handler parked mid-response.
+	bw := newBlockingWriter()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(bw, httptest.NewRequest("GET", "/", nil))
+	}()
+	<-bw.entered
+
+	// Past the watermark: immediate 503 with Retry-After, JSON body.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/hosts", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-watermark status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	if !strings.Contains(rec.Body.String(), "overloaded") {
+		t.Errorf("503 body = %q", rec.Body.String())
+	}
+
+	// Liveness bypasses the gate: healthz answers while shedding.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during overload = %d, want 200", rec.Code)
+	}
+
+	// Release the slot; the gate admits again.
+	close(bw.release)
+	<-done
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/hosts", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-release status = %d, want 200", rec.Code)
+	}
+
+	if s.adm.rejected.Load() != 1 {
+		t.Errorf("rejected = %d, want 1", s.adm.rejected.Load())
+	}
+	// healthz and both admitted requests all count as seen.
+	if s.adm.requests.Load() != 4 {
+		t.Errorf("requests = %d, want 4", s.adm.requests.Load())
+	}
+	if s.adm.inflight.Load() != 0 {
+		t.Errorf("inflight after drain = %d, want 0", s.adm.inflight.Load())
+	}
+}
+
+func TestScrapeCacheCoalescesWithinRound(t *testing.T) {
+	coll := monitor.NewCollector(0)
+	s := NewServer(coll, []string{"01"}, t0).WithScrapeCache(time.Hour)
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	first := get("/api/rounds")
+	if first.Code != http.StatusOK || first.Header().Get("X-Frostlab-Cache") != "" {
+		t.Fatalf("first read: code %d, cache header %q", first.Code, first.Header().Get("X-Frostlab-Cache"))
+	}
+	second := get("/api/rounds")
+	if second.Header().Get("X-Frostlab-Cache") != "hit" {
+		t.Fatalf("second read not served from cache")
+	}
+	if second.Body.String() != first.Body.String() {
+		t.Error("cached body differs from rendered body")
+	}
+	if second.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("cached Content-Type = %q", second.Header().Get("Content-Type"))
+	}
+
+	// New round published: invalidation forces a re-render.
+	s.InvalidateScrapeCache()
+	third := get("/api/rounds")
+	if third.Header().Get("X-Frostlab-Cache") == "hit" {
+		t.Error("read after invalidation served stale cache")
+	}
+	if get("/api/rounds").Header().Get("X-Frostlab-Cache") != "hit" {
+		t.Error("cache did not repopulate after invalidation")
+	}
+
+	// Parameterised endpoints stay uncached.
+	get("/api/ledger/01")
+	if get("/api/ledger/01").Header().Get("X-Frostlab-Cache") == "hit" {
+		t.Error("per-host endpoint was cached")
+	}
+
+	if hits := s.cache.hits.Load(); hits != 2 {
+		t.Errorf("cache hits = %d, want 2", hits)
+	}
+	// Two misses: the first render and the post-invalidation re-render.
+	// Uncacheable paths never touch the counters.
+	if misses := s.cache.misses.Load(); misses != 2 {
+		t.Errorf("cache misses = %d, want 2", misses)
+	}
+}
+
+func TestScrapeCacheTTLExpiry(t *testing.T) {
+	coll := monitor.NewCollector(0)
+	s := NewServer(coll, []string{"01"}, t0).WithScrapeCache(10 * time.Millisecond)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/rounds", nil))
+	time.Sleep(25 * time.Millisecond)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/rounds", nil))
+	if rec.Header().Get("X-Frostlab-Cache") == "hit" {
+		t.Error("expired entry served as a hit")
+	}
+}
+
+func TestScrapeCacheDoesNotCacheErrors(t *testing.T) {
+	coll := monitor.NewCollector(0) // no gap ledger: /api/gaps is a JSON 404
+	s := NewServer(coll, []string{"01"}, t0).WithScrapeCache(time.Hour)
+	h := s.Handler()
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/gaps", nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("read %d: code %d, want 404", i, rec.Code)
+		}
+		if rec.Header().Get("X-Frostlab-Cache") == "hit" {
+			t.Error("error response was cached")
+		}
+	}
+}
+
+func TestDashServingMetricsExported(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	coll := monitor.NewCollector(0)
+	s := NewServer(coll, []string{"01"}, t0).
+		WithAdmission(8, time.Second).
+		WithScrapeCache(time.Hour).
+		WithTelemetry(reg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get(t, srv.URL+"/api/rounds")
+	get(t, srv.URL+"/api/rounds")
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"frostlab_dash_requests_total 3",
+		"frostlab_dash_rejected_total 0",
+		"frostlab_dash_cache_hits_total 1",
+		"frostlab_dash_cache_misses_total 2",
+		"frostlab_dash_inflight 1", // the /metrics request itself
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Server struct {
 	gaps *monitor.GapLedger
 	// reg, when set, serves the process's metrics registry on /metrics.
 	reg *telemetry.Registry
+	// adm, when set, bounds concurrent request handling (WithAdmission).
+	adm *admission
+	// cache, when set, coalesces hot scrape reads (WithScrapeCache).
+	cache *scrapeCache
 }
 
 // NewServer returns a dashboard over the collector for the given roster.
@@ -67,9 +71,53 @@ func (s *Server) WithLedger(g *monitor.GapLedger) *Server {
 }
 
 // WithTelemetry attaches a metrics registry, served on /metrics, and
-// returns the server. Without one, /metrics is 404.
+// returns the server. Without one, /metrics is 404. The dashboard's own
+// serving counters are registered as scrape-time views, so overload
+// shedding and cache effectiveness are visible on the same /metrics page
+// the scrapers are hammering. Call it after WithAdmission/WithScrapeCache
+// so the views observe the configured gates.
 func (s *Server) WithTelemetry(reg *telemetry.Registry) *Server {
 	s.reg = reg
+	reg.CounterFunc("frostlab_dash_requests_total",
+		"HTTP requests seen by the dashboard's admission gate.",
+		func() float64 {
+			if s.adm == nil {
+				return 0
+			}
+			return float64(s.adm.requests.Load())
+		})
+	reg.CounterFunc("frostlab_dash_rejected_total",
+		"Requests refused with 503 past the in-flight watermark.",
+		func() float64 {
+			if s.adm == nil {
+				return 0
+			}
+			return float64(s.adm.rejected.Load())
+		})
+	reg.GaugeFunc("frostlab_dash_inflight",
+		"Requests currently being handled.",
+		func() float64 {
+			if s.adm == nil {
+				return 0
+			}
+			return float64(s.adm.inflight.Load())
+		})
+	reg.CounterFunc("frostlab_dash_cache_hits_total",
+		"Scrape responses served from the round cache.",
+		func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.hits.Load())
+		})
+	reg.CounterFunc("frostlab_dash_cache_misses_total",
+		"Scrape responses rendered because the round cache missed.",
+		func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.misses.Load())
+		})
 	return s
 }
 
@@ -89,7 +137,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/series", s.handleSeries)
 	mux.HandleFunc("GET /api/series/{host}/{metric}", s.handleSeriesWindow)
 	mux.HandleFunc("GET /logs/{host}/{file}", s.handleLog)
-	return mux
+	var h http.Handler = mux
+	// Cache inside, admission outside: a cache hit still occupies an
+	// in-flight slot (it does real I/O to the client), while a rejected
+	// request must never render anything expensive.
+	if s.cache != nil {
+		h = s.cache.wrap(h)
+	}
+	if s.adm != nil {
+		h = s.adm.wrap(h)
+	}
+	return h
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

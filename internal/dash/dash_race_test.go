@@ -1,0 +1,76 @@
+package dash
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"frostlab/internal/monitor"
+)
+
+// TestIngestVersusQueriesRace drives concurrent sample ingestion (one
+// goroutine per host — SampleDB permits one writer per series, and each
+// host owns its series) against a scraper fleet reading /api/series and
+// per-host windows. The production shape is exactly this: collectord's
+// rounds ingest while the dashboard serves. Run under -race, the test
+// proves the tsdb read path and the catalogue never tear.
+func TestIngestVersusQueriesRace(t *testing.T) {
+	hosts := []string{"01", "02", "03", "04"}
+	db := monitor.NewSampleDB()
+	coll := monitor.NewCollector(0).WithSamples(db)
+	for _, h := range hosts {
+		// Seed each series so queries always have something to decode.
+		db.Ingest(h, monitor.SensorLog, sampleLog(8))
+	}
+	srv := httptest.NewServer(NewServer(coll, hosts, t0).WithScrapeCache(time.Millisecond).Handler())
+	defer srv.Close()
+
+	const (
+		writesPerHost    = 40
+		readersPerHost   = 2
+		queriesPerReader = 30
+	)
+	var wg sync.WaitGroup
+	for hi, h := range hosts {
+		h := h
+		at := t0.Add(time.Duration(8+100*hi) * 20 * time.Minute)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writesPerHost; i++ {
+				line := fmt.Sprintf("%s cpu=%.1f disk0=%.1f\n",
+					at.UTC().Format(time.RFC3339), -4.0+0.1*float64(i), 6.0)
+				db.Ingest(h, monitor.SensorLog, []byte(line))
+				at = at.Add(20 * time.Minute)
+			}
+		}()
+		for r := 0; r < readersPerHost; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := 0; q < queriesPerReader; q++ {
+					for _, path := range []string{
+						"/api/series",
+						"/api/series/" + h + "/cpu",
+						"/api/series/" + h + "/cpu?from=2010-02-19T12:00:00Z",
+					} {
+						resp, err := http.Get(srv.URL + path)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							t.Errorf("%s = %d", path, resp.StatusCode)
+							return
+						}
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}

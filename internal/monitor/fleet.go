@@ -56,7 +56,15 @@ type FleetConfig struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 
 	// Concurrency caps hosts collected in parallel (0 = all at once).
+	// The cap also bounds the round's goroutine fan-out: a round spawns
+	// min(Concurrency, len(Hosts)) workers, not one goroutine per host,
+	// so a 100k-host fleet with Concurrency 64 costs 64 goroutines.
 	Concurrency int
+
+	// Pool, when non-nil, enables cross-round connection reuse: sessions
+	// that complete a round are parked and health-checked (ftPing) before
+	// the next one, replacing dial-per-attempt. See PoolConfig.
+	Pool *PoolConfig
 
 	// Tracer, when non-nil, records collection-plane spans with wall-clock
 	// timestamps: one "round" span on track 0 and one "collect <host>" span
@@ -78,6 +86,7 @@ type FleetCollector struct {
 	breakers map[string]*Breaker
 	ledger   *GapLedger
 	tids     map[string]int // tracer track per host; 0 is the fleet track
+	pool     *connPool      // nil unless cfg.Pool is set
 
 	// met is nil until Instrument attaches a registry; see metrics.go.
 	met *fleetMetrics
@@ -108,7 +117,7 @@ func NewFleetCollector(coll *Collector, cfg FleetConfig) (*FleetCollector, error
 		cfg.Jitter = DeterministicJitter("")
 	}
 	if cfg.Sleep == nil {
-		cfg.Sleep = sleepCtx
+		cfg.Sleep = SleepContext
 	}
 	fc := &FleetCollector{
 		cfg:      cfg,
@@ -116,6 +125,9 @@ func NewFleetCollector(coll *Collector, cfg FleetConfig) (*FleetCollector, error
 		breakers: make(map[string]*Breaker, len(cfg.Hosts)),
 		ledger:   NewGapLedger(),
 		tids:     make(map[string]int, len(cfg.Hosts)),
+	}
+	if cfg.Pool != nil {
+		fc.pool = newConnPool()
 	}
 	for i, h := range cfg.Hosts {
 		fc.breakers[h] = NewBreaker(cfg.Breaker)
@@ -175,18 +187,27 @@ func (fc *FleetCollector) Round(ctx context.Context, now time.Time) RoundReport 
 	if conc <= 0 || conc > len(fc.cfg.Hosts) {
 		conc = len(fc.cfg.Hosts)
 	}
-	sem := make(chan struct{}, conc)
+	// Bounded fan-out: conc workers pull host indexes from a channel, so
+	// the round's goroutine count is the concurrency cap, not the fleet
+	// size. Outcomes land in fleet order regardless of which worker runs
+	// which host, so reports stay deterministic under deterministic
+	// dialers exactly as before.
 	outcomes := make([]HostOutcome, len(fc.cfg.Hosts))
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, h := range fc.cfg.Hosts {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
-		go func(i int, h string) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outcomes[i] = fc.collectHost(ctx, h, round, now)
-		}(i, h)
+			for i := range idx {
+				outcomes[i] = fc.collectHost(ctx, fc.cfg.Hosts[i], round, now)
+			}
+		}()
 	}
+	for i := range fc.cfg.Hosts {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	rep := RoundReport{Round: round, At: now, Hosts: outcomes}
 	fc.ledger.Record(rep)
@@ -234,8 +255,11 @@ func (fc *FleetCollector) collectHost(ctx context.Context, hostID string, round 
 	attempts := 0
 	for a := 1; a <= maxAttempts; a++ {
 		if a > 1 {
-			pause := fc.cfg.Retry.Backoff(a-1, fc.cfg.Jitter(hostID, round, a))
-			if err := fc.cfg.Sleep(ctx, pause); err != nil {
+			// The backoff wait is context-aware: a round deadline or a
+			// shutdown signal interrupts the pause instead of running it
+			// out. The jitter draw happens unconditionally so chaos
+			// replays keep their deterministic draw sequence.
+			if err := fc.cfg.Retry.WaitContext(ctx, a-1, fc.cfg.Jitter(hostID, round, a), fc.cfg.Sleep); err != nil {
 				lastErr = err
 				break
 			}
@@ -267,16 +291,18 @@ func (fc *FleetCollector) collectHost(ctx context.Context, hostID string, round 
 	return out
 }
 
-// attempt performs one dial-handshake-collect try against a host.
+// attempt performs one collect try against a host: a pooled keepalive
+// session when one is parked and healthy, a fresh dial-handshake
+// otherwise. On success with a pool, the session is parked for the next
+// round; on any failure (or without a pool) the transport is torn down.
 func (fc *FleetCollector) attempt(ctx context.Context, hostID string, round, attempt int, now time.Time) (RoundStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RoundStats{}, err
 	}
-	conn, err := fc.cfg.Dial(ctx, hostID, round, attempt)
+	pc, err := fc.session(ctx, hostID, round, attempt)
 	if err != nil {
-		return RoundStats{}, fmt.Errorf("dial: %w", err)
+		return RoundStats{}, err
 	}
-	defer conn.Close()
 
 	// Watchdog: context cancellation (round timeout, shutdown signal)
 	// closes the connection, unblocking any in-flight read or write.
@@ -286,16 +312,65 @@ func (fc *FleetCollector) attempt(ctx context.Context, hostID string, round, att
 		defer close(done)
 		select {
 		case <-ctx.Done():
-			conn.Close()
+			pc.conn.Close()
 		case <-stop:
 		}
 	}()
-	defer func() { close(stop); <-done }()
+	stopWatchdog := func() { close(stop); <-done }
 
+	var stats RoundStats
+	if fc.pool != nil {
+		stats, err = fc.coll.CollectHostKeepAlive(ctx, pc.sess, hostID, now)
+	} else {
+		stats, err = fc.coll.CollectHostContext(ctx, pc.sess, hostID, now)
+	}
+	stopWatchdog()
+	if err != nil {
+		pc.conn.Close()
+		return stats, fmt.Errorf("collect: %w", err)
+	}
+	if fc.pool != nil {
+		// The watchdog is stopped before parking, so a later round (or
+		// the pool itself) owns the teardown from here on.
+		fc.pool.put(hostID, pc)
+	} else {
+		pc.conn.Close()
+	}
+	return stats, nil
+}
+
+// session produces the attempt's authenticated session. With a pool, a
+// parked session is health-checked first — an injected pool fault severs
+// it before the ping, so the check fails and the attempt falls through to
+// a fresh dial. A stale keepalive therefore costs one ping round-trip,
+// never a failed attempt.
+func (fc *FleetCollector) session(ctx context.Context, hostID string, round, attempt int) (*pooledConn, error) {
+	if fc.pool != nil {
+		if pc := fc.pool.get(hostID); pc != nil {
+			if fc.cfg.Pool.Fault != nil && fc.cfg.Pool.Fault(hostID, round) {
+				// The parked transport died while idle (agent restart,
+				// injected chaos): sever it so the health check sees a
+				// dead conn, exactly as production would.
+				pc.conn.Close()
+				fc.countPoolStale(hostID)
+			}
+			if err := ping(pc.sess); err == nil {
+				fc.countPoolHit(hostID)
+				return pc, nil
+			}
+			pc.conn.Close()
+			fc.countPoolRetired(hostID)
+		}
+	}
+	conn, err := fc.cfg.Dial(ctx, hostID, round, attempt)
+	if err != nil {
+		return nil, fmt.Errorf("dial: %w", err)
+	}
 	rw := &phaseConn{Conn: conn, timeout: fc.cfg.PhaseTimeout}
 	psk, err := fc.cfg.KeyFor(hostID)
 	if err != nil {
-		return RoundStats{}, err
+		conn.Close()
+		return nil, err
 	}
 	nonce := wire.Nonce(randNonce)
 	if fc.cfg.NonceFor != nil {
@@ -303,13 +378,29 @@ func (fc *FleetCollector) attempt(ctx context.Context, hostID string, round, att
 	}
 	sess, err := wire.Dial(rw, hostID, psk, nonce)
 	if err != nil {
-		return RoundStats{}, fmt.Errorf("handshake: %w", err)
+		conn.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
 	}
-	stats, err := fc.coll.CollectHostContext(ctx, sess, hostID, now)
-	if err != nil {
-		return stats, fmt.Errorf("collect: %w", err)
+	fc.countDial(hostID)
+	return &pooledConn{conn: conn, sess: sess}, nil
+}
+
+// Close retires every pooled keepalive session with a clean bye. It is
+// the shutdown counterpart of FleetConfig.Pool and a no-op without one;
+// Round must not be running concurrently.
+func (fc *FleetCollector) Close() {
+	if fc.pool != nil {
+		fc.pool.close()
 	}
-	return stats, nil
+}
+
+// PooledSessions reports the idle keepalive sessions currently parked
+// (0 without a pool).
+func (fc *FleetCollector) PooledSessions() int {
+	if fc.pool == nil {
+		return 0
+	}
+	return fc.pool.size()
 }
 
 // phaseConn arms a fresh deadline before every read and write, so each
@@ -336,21 +427,6 @@ func (p *phaseConn) Write(b []byte) (int, error) {
 		}
 	}
 	return p.Conn.Write(b)
-}
-
-// sleepCtx is the production Sleep: a real timer that aborts on ctx.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
 }
 
 // randNonce is the production crypto/rand-backed wire.Nonce.

@@ -23,6 +23,15 @@ type fleetMetrics struct {
 	timeouts     *telemetry.CounterVec
 	skips        *telemetry.CounterVec
 	breakerState *telemetry.GaugeVec
+
+	// Connection-pool counters (always registered; they stay zero when
+	// no pool is configured). These are fleet-wide, not per-host: the
+	// interesting signal under load is the aggregate dial rate the pool
+	// saves, and per-host children would add 4 series per host.
+	dials       *telemetry.Counter
+	poolHits    *telemetry.Counter
+	poolStale   *telemetry.Counter
+	poolRetired *telemetry.Counter
 }
 
 // Instrument registers the collector's metrics on reg and starts
@@ -54,7 +63,18 @@ func (fc *FleetCollector) Instrument(reg *telemetry.Registry) {
 			"Host-rounds skipped because the circuit breaker was open, per host.", "host"),
 		breakerState: reg.NewGaugeVec("frostlab_fleet_breaker_state",
 			"Circuit-breaker position per host: 0 closed, 1 open, 2 half-open.", "host"),
+		dials: reg.NewCounter("frostlab_fleet_dials_total",
+			"Fresh dial-plus-handshake connections established across the fleet."),
+		poolHits: reg.NewCounter("frostlab_pool_hits_total",
+			"Collection attempts served by a healthy pooled keepalive session."),
+		poolStale: reg.NewCounter("frostlab_pool_stale_total",
+			"Pooled sessions found severed at pickup (agent restarts, injected pool faults)."),
+		poolRetired: reg.NewCounter("frostlab_pool_retired_total",
+			"Pooled sessions retired because their health check failed."),
 	}
+	reg.GaugeFunc("frostlab_pool_idle_sessions",
+		"Keepalive sessions currently parked in the connection pool.",
+		func() float64 { return float64(fc.PooledSessions()) })
 	for _, h := range fc.cfg.Hosts {
 		m.attempts.With(h)
 		m.retries.With(h)
@@ -100,6 +120,32 @@ func (fc *FleetCollector) observeRound(rep RoundReport, wallDur time.Duration) {
 		if h.Status == StatusFailed && isTimeoutErr(h.Err) {
 			m.timeouts.With(h.HostID).Inc()
 		}
+	}
+}
+
+// Pool-path recording sites. Like every other instrument they are
+// nil-guarded, so an uninstrumented collector pays nothing.
+func (fc *FleetCollector) countDial(string) {
+	if fc.met != nil {
+		fc.met.dials.Inc()
+	}
+}
+
+func (fc *FleetCollector) countPoolHit(string) {
+	if fc.met != nil {
+		fc.met.poolHits.Inc()
+	}
+}
+
+func (fc *FleetCollector) countPoolStale(string) {
+	if fc.met != nil {
+		fc.met.poolStale.Inc()
+	}
+}
+
+func (fc *FleetCollector) countPoolRetired(string) {
+	if fc.met != nil {
+		fc.met.poolRetired.Inc()
 	}
 }
 

@@ -107,6 +107,12 @@ const (
 	// evicted prefix as literal bytes again every round — the collector
 	// asks for the suffix it actually retains.
 	ftSigAt byte = 7
+	// ftPing/ftPong are the keepalive health check: before reusing a
+	// pooled session the collector round-trips a ping, so a connection
+	// that died while parked (agent restart, injected pool fault) is
+	// retired and redialled instead of failing the round's first frame.
+	ftPing byte = 8
+	ftPong byte = 9
 )
 
 // ErrRemote carries an agent-reported error.
@@ -207,6 +213,10 @@ func (a *Agent) Serve(sess *wire.Session) error {
 				continue
 			}
 			if err := sess.Send(ftDelta, encodeNamed(name, d.Marshal())); err != nil {
+				return err
+			}
+		case ftPing:
+			if err := sess.Send(ftPong, nil); err != nil {
 				return err
 			}
 		case ftBye:
@@ -375,6 +385,19 @@ func (c *Collector) CollectHost(sess *wire.Session, hostID string, now time.Time
 // blocked inside a read is unblocked by the transport's deadline or by
 // closing the underlying connection — both of which FleetCollector does.
 func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, hostID string, now time.Time) (RoundStats, error) {
+	return c.collectHost(ctx, sess, hostID, now, true)
+}
+
+// CollectHostKeepAlive is CollectHostContext without the closing bye
+// frame: the session stays open and the agent's Serve loop keeps waiting,
+// so the same authenticated connection can carry the next round. It is
+// the protocol half of the FleetCollector's connection pool; the bye is
+// sent when the pool retires the session.
+func (c *Collector) CollectHostKeepAlive(ctx context.Context, sess *wire.Session, hostID string, now time.Time) (RoundStats, error) {
+	return c.collectHost(ctx, sess, hostID, now, false)
+}
+
+func (c *Collector) collectHost(ctx context.Context, sess *wire.Session, hostID string, now time.Time, bye bool) (RoundStats, error) {
 	stats := RoundStats{HostID: hostID, At: now}
 	if err := ctx.Err(); err != nil {
 		return stats, err
@@ -479,8 +502,10 @@ func (c *Collector) CollectHostContext(ctx context.Context, sess *wire.Session, 
 		stats.LiteralBytes += d.LiteralBytes()
 		stats.TotalBytes += fullLen
 	}
-	if err := sess.Send(ftBye, nil); err != nil {
-		return stats, err
+	if bye {
+		if err := sess.Send(ftBye, nil); err != nil {
+			return stats, err
+		}
 	}
 	c.mu.Lock()
 	c.history = append(c.history, stats)

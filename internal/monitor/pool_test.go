@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+)
+
+// countingDialer wraps a DialFunc and counts the dials it serves.
+func countingDialer(next DialFunc, n *atomic.Int64) DialFunc {
+	return func(ctx context.Context, hostID string, round, attempt int) (net.Conn, error) {
+		n.Add(1)
+		return next(ctx, hostID, round, attempt)
+	}
+}
+
+func TestPoolReusesSessionsAcrossRounds(t *testing.T) {
+	ids := []string{"01", "02", "03"}
+	agents, keys := testFleet(t, ids)
+	var dials atomic.Int64
+	cfg := testConfig(ids, agents, keys, &fakeSleeper{})
+	cfg.Dial = countingDialer(cfg.Dial, &dials)
+	cfg.Pool = &PoolConfig{}
+	fc, err := NewFleetCollector(NewCollector(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	for round := 1; round <= 4; round++ {
+		rep := fc.Round(context.Background(), fleetT0)
+		for _, h := range rep.Hosts {
+			if h.Status != StatusOK {
+				t.Fatalf("round %d host %s = %+v", round, h.HostID, h)
+			}
+		}
+	}
+	// Round 1 dialled every host; rounds 2-4 rode the pooled keepalives.
+	if got := dials.Load(); got != int64(len(ids)) {
+		t.Errorf("dials after 4 rounds = %d, want %d (one per host)", got, len(ids))
+	}
+	if got := fc.PooledSessions(); got != len(ids) {
+		t.Errorf("pooled sessions = %d, want %d", got, len(ids))
+	}
+
+	fc.Close()
+	if got := fc.PooledSessions(); got != 0 {
+		t.Errorf("pooled sessions after Close = %d, want 0", got)
+	}
+}
+
+func TestPoolFaultForcesRedial(t *testing.T) {
+	ids := []string{"01", "02"}
+	agents, keys := testFleet(t, ids)
+	var dials atomic.Int64
+	cfg := testConfig(ids, agents, keys, &fakeSleeper{})
+	cfg.Dial = countingDialer(cfg.Dial, &dials)
+	// Sever host 01's parked keepalive before every pickup in round 3.
+	cfg.Pool = &PoolConfig{Fault: func(hostID string, round int) bool {
+		return hostID == "01" && round == 3
+	}}
+	fc, err := NewFleetCollector(NewCollector(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	for round := 1; round <= 4; round++ {
+		rep := fc.Round(context.Background(), fleetT0)
+		for _, h := range rep.Hosts {
+			// The injected fault must cost a ping round-trip, never an
+			// attempt: every host-round still succeeds on attempt 1.
+			if h.Status != StatusOK || h.Attempts != 1 {
+				t.Fatalf("round %d host %s = %+v", round, h.HostID, h)
+			}
+		}
+	}
+	// 2 initial dials + exactly 1 redial for the severed keepalive.
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dials = %d, want 3 (2 initial + 1 fault redial)", got)
+	}
+}
+
+func TestPoolWithoutConfigDialsEveryRound(t *testing.T) {
+	ids := []string{"01"}
+	agents, keys := testFleet(t, ids)
+	var dials atomic.Int64
+	cfg := testConfig(ids, agents, keys, &fakeSleeper{})
+	cfg.Dial = countingDialer(cfg.Dial, &dials)
+	fc, err := NewFleetCollector(NewCollector(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 3; round++ {
+		fc.Round(context.Background(), fleetT0)
+	}
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dials without pool = %d, want 3 (one per round)", got)
+	}
+	if got := fc.PooledSessions(); got != 0 {
+		t.Errorf("pooled sessions without pool = %d", got)
+	}
+	fc.Close() // no-op without a pool
+}

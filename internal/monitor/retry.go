@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -83,6 +84,42 @@ func (rp RetryPolicy) Backoff(failed int, u float64) time.Duration {
 		return 0
 	}
 	return time.Duration(d)
+}
+
+// WaitContext sleeps out the backoff pause that follows the given failed
+// attempt, under a context: cancellation — a round deadline firing, a
+// daemon draining on SIGTERM — interrupts the pause immediately instead
+// of running it out against a host that no longer matters. The jitter
+// draw u and the sleep function are injected (nil sleep uses a real
+// timer), so deterministic chaos runs replay bit-identically: the pause
+// is still *computed* (keeping the draw sequence stable) even when the
+// injected sleep returns without waiting. A context that is already
+// cancelled returns before any sleep runs, whatever sleep is injected.
+func (rp RetryPolicy) WaitContext(ctx context.Context, failed int, u float64, sleep func(context.Context, time.Duration) error) error {
+	d := rp.Backoff(failed, u)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if sleep == nil {
+		sleep = SleepContext
+	}
+	return sleep(ctx, d)
+}
+
+// SleepContext is the production backoff sleep: a real timer that aborts
+// as soon as ctx is cancelled, returning the context's error.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // DeterministicJitter derives a stable jitter source from a seed string:

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"time"
 )
 
 // TextContentType is the Prometheus text exposition content type served
@@ -72,6 +73,24 @@ func BuildInfoHandler() http.Handler {
 		enc.SetIndent("", " ")
 		_ = enc.Encode(ReadBuildInfo())
 	})
+}
+
+// NewServer wraps a handler in an http.Server with explicit timeouts,
+// and is how every frostlab daemon should bind a listener. The stdlib
+// zero values mean "wait forever": a client that dials and then
+// trickles its request header one byte a minute (slowloris) holds a
+// connection — and its goroutine — indefinitely. These bounds evict it.
+// WriteTimeout is generous because the same server may carry a pprof
+// CPU profile, which legitimately streams for 30 s.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // DebugMux is the telemetry listener every daemon serves behind its
