@@ -20,6 +20,7 @@
 //	           [-breaker-trip 3] [-breaker-cooldown 3] [-http 127.0.0.1:8080]
 //	           [-debug-addr 127.0.0.1:6060] [-mirror-retain 0] [-tsdb-dir tsdb/]
 //	           [-pool] [-ingest-queue 4] [-max-inflight 64] [-scrape-cache 1s]
+//	           [-rules default|off|path/to/rules.txt]
 //
 // The dashboard (-http) serves /metrics and /buildinfo alongside the
 // status endpoints; -debug-addr opens a second listener with /metrics,
@@ -38,6 +39,16 @@
 // mirrored file's raw bytes (oldest lines evicted first; the compressed
 // store keeps the full history), and -tsdb-dir checkpoints the store to
 // <dir>/samples.ftsb after every round and restores it at startup.
+//
+// A deterministic rules engine (internal/rules) evaluates alert and
+// recording rules over the sample store once per round, on wall-clock
+// time. -rules selects the ruleset: "default" ships staleness, coverage,
+// shed, breaker, and frost-envelope alerts; "off" disables the engine; a
+// path loads a rule file. Alert state is served on /api/alerts (which
+// bypasses the admission gate, like /healthz), /api/rules and
+// /api/incidents, exported as frostlab_rules_* / frostlab_alerts_*
+// metrics, and incident transitions ride the -tsdb-dir checkpoint as
+// ordinary samples, so the incident timeline survives restarts.
 //
 // Keys are derived as SHA-256(keyseed/psk/<hostID>) and must match the
 // node agents' -keyseed.
@@ -58,6 +69,7 @@ import (
 
 	"frostlab/internal/dash"
 	"frostlab/internal/monitor"
+	"frostlab/internal/rules"
 	"frostlab/internal/telemetry"
 	"frostlab/internal/wire"
 )
@@ -96,6 +108,7 @@ func run() error {
 	ingestQueue := flag.Int("ingest-queue", 4, "bound on pending post-round flush/checkpoint jobs; the oldest round is shed (and counted) when full")
 	maxInflight := flag.Int("max-inflight", 64, "dashboard admission watermark: concurrent requests past it get 503 + Retry-After")
 	scrapeCache := flag.Duration("scrape-cache", time.Second, "cache hot dashboard scrape responses for this long within a round (0 = off)")
+	rulesFlag := flag.String("rules", "default", `alert/recording ruleset: "default", "off", or a rule file path`)
 	flag.Parse()
 
 	if *hostsFlag == "" {
@@ -188,10 +201,25 @@ func run() error {
 		"Parsed samples the store rejected (out-of-order timestamps).",
 		func() float64 { return float64(samples.Dropped()) })
 
+	eng, err := buildRules(*rulesFlag, samples, fc, queue, ids)
+	if err != nil {
+		return err
+	}
+	if eng != nil {
+		// Replay any checkpointed incident transitions before the first
+		// eval, so a restart resumes firing alerts instead of re-opening
+		// them as new incidents.
+		if err := eng.Restore(); err != nil {
+			fmt.Fprintf(os.Stderr, "rules: restoring incident state: %v\n", err)
+		}
+		eng.Instrument(reg)
+	}
+
 	var dashSrv *dash.Server
 	if *httpAddr != "" {
 		dashSrv = dash.NewServer(coll, ids, time.Now()).
 			WithLedger(fc.Ledger()).
+			WithRules(eng).
 			WithAdmission(*maxInflight, *backoff).
 			WithScrapeCache(*scrapeCache).
 			WithTelemetry(reg)
@@ -229,6 +257,13 @@ func run() error {
 			}
 			return nil
 		}})
+		// Sample ingestion happens synchronously inside fc.Round (only
+		// flush/checkpoint is queued), so an eval here sees the round's
+		// data the moment it lands — wall-clock MTTD is one cadence, not
+		// two.
+		if eng != nil {
+			eng.Eval(time.Now())
+		}
 		if dashSrv != nil {
 			dashSrv.InvalidateScrapeCache()
 		}
@@ -287,6 +322,43 @@ func logRound(rep monitor.RoundReport) {
 	}
 	fmt.Printf("round %d complete: %d/%d hosts (coverage %.2f), %d literal bytes (%.1f%% saved)\n",
 		rep.Round, rep.Collected(), len(rep.Hosts), rep.Coverage(), literal, saved)
+}
+
+// buildRules maps the -rules flag onto a configured engine, or nil for
+// "off". The live gauges bind the default ruleset's $-names to the
+// collection plane: coverage, shed rounds, stale pooled connections, and
+// open breakers are all observable without a sample series.
+func buildRules(sel string, samples *monitor.SampleDB, fc *monitor.FleetCollector, queue *monitor.IngestQueue, ids []string) (*rules.Engine, error) {
+	var set *rules.RuleSet
+	switch sel {
+	case "off":
+		return nil, nil
+	case "default":
+		set = rules.Default()
+	default:
+		data, err := os.ReadFile(sel)
+		if err != nil {
+			return nil, fmt.Errorf("-rules: %w", err)
+		}
+		set, err = rules.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("-rules %s: %w", sel, err)
+		}
+	}
+	eng := rules.NewEngine(set, samples.Store()).
+		Live("coverage", func() float64 { return fc.Ledger().Coverage() }).
+		Live("ingest_shed", func() float64 { return float64(queue.Stats().Shed) }).
+		Live("pool_stale", func() float64 { return float64(fc.PoolStaleTotal()) }).
+		Live("breakers_open", func() float64 {
+			open := 0
+			for _, id := range ids {
+				if fc.BreakerState(id) == monitor.BreakerOpen {
+					open++
+				}
+			}
+			return float64(open)
+		})
+	return eng, nil
 }
 
 // poolConfig maps the -pool flag onto FleetConfig.Pool.

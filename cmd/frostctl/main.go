@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control|serve] [-monitor 20m]
+//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control|serve|alerts] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events] [-trace out.json]
 //	frostctl -tents N [-hosts-per-tent 9] [-shards K] [-days N] [-csv DIR] [-save out.json]
 //
@@ -22,6 +22,10 @@
 // warmup/ramp/sustain/spike profile against the production serving plane
 // (keepalive pool, bounded ingest, admission control), writing the full
 // report to BENCH_SERVE.json (see -serve-* flags).
+// -phase alerts runs the E16 detection-latency study: every injectable
+// fault class against the rules engine, measuring MTTD per class,
+// checking replay byte-identity and the zero-alloc eval path, writing
+// BENCH_ALERTS.json (see -alerts-* flags).
 // -trace records the run as Chrome trace-event JSON — open it in
 // chrome://tracing or https://ui.perfetto.dev to see the experiment
 // timeline: per-host outage spans, install/repair instants, monitoring
@@ -57,7 +61,7 @@ func main() {
 
 func run() error {
 	seed := flag.String("seed", core.ReferenceSeed, "master RNG seed")
-	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control | serve")
+	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control | serve | alerts")
 	monitor := flag.Duration("monitor", 20*time.Minute, "monitoring cadence (0 disables the rsync plane)")
 	days := flag.Int("days", 0, "override the normal-phase length in days (0 = paper horizon)")
 	csvDir := flag.String("csv", "", "write temperature/humidity CSVs into this directory")
@@ -72,6 +76,7 @@ func run() error {
 	ch := chaosFlags()
 	co := controlFlags()
 	se := serveFlags()
+	al := alertsFlags()
 	flag.Parse()
 
 	if *tents > 0 {
@@ -86,6 +91,9 @@ func run() error {
 	}
 	if *phase == "control" {
 		return runControlStudy(*seed, co)
+	}
+	if *phase == "alerts" {
+		return runAlertsStudy(*seed, al)
 	}
 	if *phase == "serve" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
@@ -46,6 +48,10 @@ type RunSummary struct {
 	// E14 headline, 0 for open-loop runs).
 	Controlled       bool
 	EnvelopeFraction float64
+	// AlertIncidents and AlertDigest carry the sim-time rules engine's
+	// incident count and timeline hash; empty for runs without rules.
+	AlertIncidents int
+	AlertDigest    string
 	// Series holds the envelope inputs, resampled to the campaign grid
 	// and compressed: a few bits per sample instead of a 24-byte Point,
 	// so hundreds of retained replicates stay small.
@@ -92,6 +98,10 @@ func Summarize(r *core.Results, grid time.Duration) (RunSummary, error) {
 	if r.Control != nil {
 		rs.Controlled = true
 		rs.EnvelopeFraction = r.Control.EnvelopeFraction()
+	}
+	if r.Alerts != nil {
+		rs.AlertIncidents = int(r.Alerts.IncidentsTotal)
+		rs.AlertDigest = r.Alerts.Digest
 	}
 	for _, es := range envelopeSeries {
 		var src *timeseries.Series
@@ -173,6 +183,13 @@ type PointAggregate struct {
 	ControlledRuns       int
 	MeanEnvelopeFraction float64
 
+	// AlertIncidents pools incident counts across replicates;
+	// AlertDigest hashes the per-replicate timeline digests in replicate
+	// order, so two campaigns agree iff every replicate's incident
+	// timeline was byte-identical. Empty when no replicate ran rules.
+	AlertIncidents int
+	AlertDigest    string
+
 	MeanEnergyKWh float64
 	Envelopes     []Envelope
 	Power         []PowerRow
@@ -210,6 +227,8 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 	env := make(map[string]map[int64]*envBucket, len(envelopeSeries))
 	envRuns := make(map[string]int, len(envelopeSeries))
 	var energySum, envFracSum float64
+	alertHash := sha256.New()
+	haveAlerts := false
 	for _, rs := range sums {
 		if rs.Err != "" {
 			agg.Failed++
@@ -230,6 +249,13 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 		if rs.Controlled {
 			agg.ControlledRuns++
 			envFracSum += rs.EnvelopeFraction
+		}
+		if rs.AlertDigest != "" {
+			haveAlerts = true
+			agg.AlertIncidents += rs.AlertIncidents
+			// Replicate order is fixed by the caller, so this combined
+			// hash is parallelism-independent.
+			fmt.Fprintf(alertHash, "%d:%s\n", rs.Rep, rs.AlertDigest)
 		}
 		for name, series := range rs.Series {
 			if series.Samples() == 0 {
@@ -268,6 +294,9 @@ func (s *Spec) aggregate(label string, sums []RunSummary) *PointAggregate {
 	agg.MeanEnergyKWh = energySum / float64(agg.Completed)
 	if agg.ControlledRuns > 0 {
 		agg.MeanEnvelopeFraction = envFracSum / float64(agg.ControlledRuns)
+	}
+	if haveAlerts {
+		agg.AlertDigest = hex.EncodeToString(alertHash.Sum(nil))
 	}
 
 	rng := simkernel.NewRNG(s.Seed + "/campaign-bootstrap/" + label)

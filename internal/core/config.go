@@ -17,6 +17,7 @@ import (
 	"frostlab/internal/control"
 	"frostlab/internal/failure"
 	"frostlab/internal/hardware"
+	"frostlab/internal/rules"
 	"frostlab/internal/thermal"
 	"frostlab/internal/weather"
 	"frostlab/internal/workload"
@@ -102,6 +103,12 @@ type Config struct {
 	// control plane; ignored when Control is nil. An empty Seed derives
 	// one from the experiment seed.
 	ActuatorChaos *chaos.ActuatorSpec
+	// Rules enables sim-time alert evaluation: collected samples feed a
+	// SampleDB-backed tsdb and the rules engine runs once per monitoring
+	// round on the simulated clock, producing a replay-deterministic
+	// incident timeline in Results.Alerts. Nil (the default) leaves the
+	// reference run byte-identical.
+	Rules *rules.RuleSet
 }
 
 // DefaultConfig returns the reference reproduction configuration.
@@ -177,6 +184,9 @@ func (c Config) Validate() error {
 		if err := c.ActuatorChaos.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.Rules != nil && c.MonitorEvery <= 0 {
+		return fmt.Errorf("core: rules need the monitoring plane (MonitorEvery > 0)")
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"frostlab/internal/failure"
 	"frostlab/internal/hardware"
 	"frostlab/internal/monitor"
+	"frostlab/internal/rules"
 	"frostlab/internal/sensors"
 	"frostlab/internal/simkernel"
 	"frostlab/internal/telemetry"
@@ -137,6 +138,13 @@ type Experiment struct {
 	gaps     *monitor.GapLedger
 	monRound int
 
+	// samples and alerts are the sim-time alerting plane (cfg.Rules):
+	// collected sensor files stream into a tsdb-backed SampleDB and the
+	// rules engine evaluates once per monitoring round on simulated
+	// time. Both nil when cfg.Rules is nil.
+	samples *monitor.SampleDB
+	alerts  *rules.Engine
+
 	// hosts is dense host state sorted by host ID — the classic engine's
 	// slice-of-structs counterpart to the sharded engine's
 	// struct-of-arrays layout. byID maps a host ID to its slice index;
@@ -221,6 +229,22 @@ func New(cfg Config) (*Experiment, error) {
 		gaps:     monitor.NewGapLedger(),
 		byID:     make(map[string]int),
 		packs:    workload.NewPackCache(),
+	}
+	if cfg.Rules != nil {
+		e.samples = monitor.NewSampleDB()
+		e.coll = e.coll.WithSamples(e.samples)
+		e.alerts = rules.NewEngine(cfg.Rules, e.samples.Store()).
+			Live("coverage", func() float64 { return e.gaps.Coverage() }).
+			Live("tent_temp", func() float64 { t, _ := e.tent.Air(); return float64(t) }).
+			Live("tent_rh", func() float64 { _, rh := e.tent.Air(); return float64(rh) }).
+			Live("tent_power", func() float64 { return float64(e.tentW) }).
+			Live("outside_temp", func() float64 { return float64(e.prevOutside) }).
+			Live("control_fallback", func() float64 {
+				if e.ctl != nil && e.ctl.prevFallback {
+					return 1
+				}
+				return 0
+			})
 	}
 	e.station = weather.NewStation(wx, rng, cfg.StationInterval)
 	e.meter = sensors.NewPowerMeter(rng, "tent-feed")
@@ -827,6 +851,9 @@ func (e *Experiment) monitorRound(now time.Time) error {
 	e.monRound++
 	e.met.monitorRounds.Inc()
 	e.gaps.Record(rep)
+	if e.alerts != nil {
+		e.alerts.Eval(now)
+	}
 	if e.tracer != nil {
 		e.tracer.Instant("monitor-round", "monitor", 0, now)
 		e.tracer.Counter("fleet_coverage", now, rep.Coverage())

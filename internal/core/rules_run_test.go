@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"frostlab/internal/rules"
+)
+
+const testRules = `alert deep_cold value($outside_temp) < 5 for 1h severity page
+alert out outside_envelope($tent_temp,$tent_rh) for 1h
+record outside_copy value($outside_temp)
+`
+
+func runWithRules(t *testing.T) *Results {
+	t.Helper()
+	cfg := DefaultConfig(ReferenceSeed)
+	cfg.End = cfg.Start.AddDate(0, 0, 3)
+	cfg.Rules = rules.MustParse(testRules)
+	exp, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestSimTimeRulesProduceAlerts(t *testing.T) {
+	r := runWithRules(t)
+	if r.Alerts == nil {
+		t.Fatal("Results.Alerts nil with Rules configured")
+	}
+	// The Helsinki winter is far below 5 degC, so deep_cold must fire.
+	if r.Alerts.IncidentsTotal == 0 || len(r.Alerts.Timeline) == 0 {
+		t.Fatalf("no incidents: %+v", r.Alerts)
+	}
+	fired := false
+	for _, ev := range r.Alerts.Timeline {
+		if ev.Rule == "deep_cold" && ev.Kind == rules.EvFiring {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("deep_cold never fired; timeline %+v", r.Alerts.Timeline)
+	}
+	if r.Alerts.Records == 0 {
+		t.Fatal("recording rule wrote no samples")
+	}
+	if r.Alerts.Digest == "" {
+		t.Fatal("empty timeline digest")
+	}
+}
+
+func TestSimTimeRulesReplayDeterministic(t *testing.T) {
+	a, b := runWithRules(t), runWithRules(t)
+	if a.Alerts.Digest != b.Alerts.Digest {
+		t.Fatalf("replay digests differ: %s vs %s", a.Alerts.Digest, b.Alerts.Digest)
+	}
+	if len(a.Alerts.Timeline) != len(b.Alerts.Timeline) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(a.Alerts.Timeline), len(b.Alerts.Timeline))
+	}
+}
+
+func TestAlertsSurviveSaveLoad(t *testing.T) {
+	r := runWithRules(t)
+	var buf bytes.Buffer
+	if err := SaveResults(&buf, r); err != nil {
+		t.Fatalf("SaveResults: %v", err)
+	}
+	loaded, err := LoadResults(&buf)
+	if err != nil {
+		t.Fatalf("LoadResults: %v", err)
+	}
+	if loaded.Alerts == nil {
+		t.Fatal("loaded Alerts nil")
+	}
+	if loaded.Alerts.Digest != r.Alerts.Digest ||
+		loaded.Alerts.IncidentsTotal != r.Alerts.IncidentsTotal ||
+		len(loaded.Alerts.Timeline) != len(r.Alerts.Timeline) {
+		t.Fatalf("loaded Alerts differ: %+v vs %+v", loaded.Alerts, r.Alerts)
+	}
+	for i, ev := range loaded.Alerts.Timeline {
+		if ev != r.Alerts.Timeline[i] {
+			t.Fatalf("timeline event %d differs: %+v vs %+v", i, ev, r.Alerts.Timeline[i])
+		}
+	}
+}
+
+func TestRulesRequireMonitoringPlane(t *testing.T) {
+	cfg := DefaultConfig(ReferenceSeed)
+	cfg.MonitorEvery = 0
+	cfg.Rules = rules.MustParse("alert x value($coverage) < 1\n")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted Rules without MonitorEvery")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"frostlab/internal/hardware"
 	"frostlab/internal/monitor"
+	"frostlab/internal/rules"
 	"frostlab/internal/thermal"
 	"frostlab/internal/timeseries"
 	"frostlab/internal/units"
@@ -144,6 +145,10 @@ type resultsDTO struct {
 	// Control is additive: open-loop files (and files written before the
 	// control plane existed) simply omit it.
 	Control *controlDTO `json:"control,omitempty"`
+	// Alerts is additive the same way: runs without a rule set omit it.
+	// rules.Report is already a stable serialization shape, so it is
+	// embedded directly rather than mirrored into a local DTO.
+	Alerts *rules.Report `json:"alerts,omitempty"`
 }
 
 type controlStatsDTO struct {
@@ -275,6 +280,7 @@ func SaveResults(w io.Writer, r *Results) error {
 			GuardTrips:      cr.GuardTrips,
 		}
 	}
+	d.Alerts = r.Alerts
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(d)
@@ -416,5 +422,6 @@ func LoadResults(rd io.Reader) (*Results, error) {
 		}
 		out.Control = cr
 	}
+	out.Alerts = d.Alerts
 	return out, nil
 }

@@ -32,6 +32,9 @@ type admission struct {
 // to whole seconds, minimum 1). /healthz bypasses the gate: liveness
 // must stay answerable precisely when the dashboard is shedding load,
 // or the orchestrator kills an overloaded-but-healthy process.
+// /api/alerts bypasses it for the same reason: overload is exactly when
+// an operator needs to see what is firing, and the alert snapshot is a
+// small in-memory read that cannot compound the overload.
 func (s *Server) WithAdmission(max int, retryAfter time.Duration) *Server {
 	if max < 1 {
 		max = 1
@@ -49,7 +52,7 @@ func (a *admission) wrap(next http.Handler) http.Handler {
 	retryAfter := strconv.FormatInt(secs, 10)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		a.requests.Add(1)
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/api/alerts" {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -17,8 +17,11 @@
 //	GET /api/ledger/{host}   JSON parsed md5sum ledger for one host
 //	GET /api/series          JSON sample-series catalogue (with a SampleDB)
 //	GET /api/series/{host}/{metric}?from=&to=
-//	                         JSON samples in the window, decoded straight
+//	                         JSON samples in the window, streamed straight
 //	                         from compressed tsdb blocks
+//	GET /api/alerts          JSON active alerts (with a rules engine)
+//	GET /api/rules           JSON rule statuses (with a rules engine)
+//	GET /api/incidents       JSON incident log + timeline (with a rules engine)
 //	GET /logs/{host}/{file}  raw mirrored log content
 //
 // API errors are JSON bodies of the form {"error": "..."} with the
@@ -26,6 +29,7 @@
 package dash
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"frostlab/internal/monitor"
+	"frostlab/internal/rules"
 	"frostlab/internal/telemetry"
 )
 
@@ -55,6 +60,10 @@ type Server struct {
 	adm *admission
 	// cache, when set, coalesces hot scrape reads (WithScrapeCache).
 	cache *scrapeCache
+	// rules, when set, serves the rules engine's alert/incident state.
+	// The engine is internally locked, so serving while it evaluates is
+	// safe.
+	rules *rules.Engine
 }
 
 // NewServer returns a dashboard over the collector for the given roster.
@@ -67,6 +76,14 @@ func NewServer(coll *monitor.Collector, hosts []string, start time.Time) *Server
 // WithLedger attaches a gap ledger to the dashboard and returns it.
 func (s *Server) WithLedger(g *monitor.GapLedger) *Server {
 	s.gaps = g
+	return s
+}
+
+// WithRules attaches a rules engine, served on /api/alerts, /api/rules
+// and /api/incidents, and returns the server. Without one those
+// endpoints answer 404.
+func (s *Server) WithRules(eng *rules.Engine) *Server {
+	s.rules = eng
 	return s
 }
 
@@ -136,6 +153,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/ledger/{host}", s.handleLedger)
 	mux.HandleFunc("GET /api/series", s.handleSeries)
 	mux.HandleFunc("GET /api/series/{host}/{metric}", s.handleSeriesWindow)
+	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /api/rules", s.handleRules)
+	mux.HandleFunc("GET /api/incidents", s.handleIncidents)
 	mux.HandleFunc("GET /logs/{host}/{file}", s.handleLog)
 	var h http.Handler = mux
 	// Cache inside, admission outside: a cache hit still occupies an
@@ -304,18 +324,88 @@ func (s *Server) handleSeriesWindow(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusNotFound, "unknown series "+name)
 		return
 	}
-	// Decode straight off the compressed blocks; the response holds the
-	// only materialised copy.
-	out := SeriesWindow{Series: name, Points: []SeriesPoint{}}
-	for it.Next() {
-		t, v := it.At()
-		out.Points = append(out.Points, SeriesPoint{At: time.Unix(0, t).UTC(), Value: v})
-	}
-	if err := it.Err(); err != nil {
+	// Stream straight off the compressed blocks: a long window never
+	// materialises as a []SeriesPoint on the monitoring host, only as
+	// bytes in flight. The byte layout replicates writeJSON's encoder
+	// (SetIndent("", " ")) exactly — TestSeriesWindowStreamsIdenticalBytes
+	// holds the two paths together — so clients cannot tell the paths
+	// apart.
+	w.Header().Set("Content-Type", "application/json")
+	bw := bufio.NewWriter(w)
+	nameJSON, err := json.Marshal(name)
+	if err != nil {
 		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, out)
+	bw.WriteString("{\n \"series\": ")
+	bw.Write(nameJSON)
+	bw.WriteString(",\n \"points\": [")
+	n := 0
+	for it.Next() {
+		t, v := it.At()
+		p, err := json.MarshalIndent(SeriesPoint{At: time.Unix(0, t).UTC(), Value: v}, "  ", " ")
+		if err != nil {
+			// Headers are long gone; truncating the body is the only
+			// honest failure signal left.
+			return
+		}
+		if n > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n  ")
+		bw.Write(p)
+		n++
+	}
+	if it.Err() != nil {
+		return
+	}
+	if n > 0 {
+		bw.WriteString("\n ]")
+	} else {
+		bw.WriteString("]")
+	}
+	bw.WriteString("\n}\n")
+	_ = bw.Flush()
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.rules == nil {
+		writeJSONError(w, http.StatusNotFound, "no rules engine attached to this dashboard")
+		return
+	}
+	alerts := s.rules.ActiveAlerts()
+	pending, firing := 0, 0
+	for _, a := range alerts {
+		if a.State == rules.StateFiring.String() {
+			firing++
+		} else {
+			pending++
+		}
+	}
+	writeJSON(w, struct {
+		Pending int                 `json:"pending"`
+		Firing  int                 `json:"firing"`
+		Alerts  []rules.AlertStatus `json:"alerts"`
+	}{pending, firing, alerts})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if s.rules == nil {
+		writeJSONError(w, http.StatusNotFound, "no rules engine attached to this dashboard")
+		return
+	}
+	writeJSON(w, s.rules.RuleStatuses())
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if s.rules == nil {
+		writeJSONError(w, http.StatusNotFound, "no rules engine attached to this dashboard")
+		return
+	}
+	writeJSON(w, struct {
+		Incidents rules.IncidentLog `json:"incidents"`
+		Timeline  []rules.Event     `json:"timeline"`
+	}{s.rules.Incidents(), s.rules.Timeline()})
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,234 @@
+package dash
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"frostlab/internal/monitor"
+	"frostlab/internal/rules"
+)
+
+// bufferedWindowJSON renders what the pre-streaming handler produced:
+// materialise every point, then marshal through writeJSON's encoder.
+// The streaming handler must emit these exact bytes.
+func bufferedWindowJSON(t *testing.T, db *monitor.SampleDB, series string, from, to int64) string {
+	t.Helper()
+	it, err := db.Store().Query(series, from, to)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", series, err)
+	}
+	out := SeriesWindow{Series: series, Points: []SeriesPoint{}}
+	for it.Next() {
+		ts, v := it.At()
+		out.Points = append(out.Points, SeriesPoint{At: time.Unix(0, ts).UTC(), Value: v})
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSeriesWindowStreamsIdenticalBytes(t *testing.T) {
+	// 3000 samples: multiple sealed blocks plus a live head, so the
+	// stream crosses every decode path.
+	raw := sampleLog(3000)
+	db := monitor.NewSampleDB()
+	db.Ingest("01", monitor.SensorLog, raw)
+	coll := monitor.NewCollector(0).WithSamples(db)
+	srv := httptest.NewServer(NewServer(coll, []string{"01"}, t0).Handler())
+	t.Cleanup(srv.Close)
+
+	cases := []struct {
+		name     string
+		from, to time.Time
+	}{
+		{"full-range", time.Time{}, time.Time{}},
+		{"windowed", t0.Add(24 * time.Hour), t0.Add(48 * time.Hour)},
+		{"single-point", t0, t0},
+		{"empty-window", t0.AddDate(10, 0, 0), t0.AddDate(11, 0, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			url := srv.URL + "/api/series/01/cpu"
+			qFrom, qTo := int64(-1<<63), int64(1<<63-1)
+			if !tc.from.IsZero() {
+				url += "?from=" + tc.from.Format(time.RFC3339) + "&to=" + tc.to.Format(time.RFC3339)
+				qFrom, qTo = tc.from.UnixNano(), tc.to.UnixNano()
+			}
+			code, body := get(t, url)
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, body)
+			}
+			want := bufferedWindowJSON(t, db, "01/cpu", qFrom, qTo)
+			if body != want {
+				t.Fatalf("streamed bytes diverge from buffered encoder\ngot  %q\nwant %q", body, want)
+			}
+		})
+	}
+}
+
+// rulesServer builds a dashboard with a one-rule engine whose gauge the
+// test controls, evaluated once so the alert is firing.
+func rulesServer(t *testing.T) (*httptest.Server, *rules.Engine) {
+	t.Helper()
+	set := rules.MustParse("alert hot value($temp) > 20 severity page\nrecord temp_copy value($temp)\n")
+	db := monitor.NewSampleDB()
+	eng := rules.NewEngine(set, db.Store()).Live("temp", func() float64 { return 25 })
+	eng.Eval(t0)
+	coll := monitor.NewCollector(0).WithSamples(db)
+	srv := httptest.NewServer(NewServer(coll, []string{"01"}, t0).WithRules(eng).Handler())
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+func TestAPIAlerts(t *testing.T) {
+	srv, _ := rulesServer(t)
+	code, body := get(t, srv.URL+"/api/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Pending int                 `json:"pending"`
+		Firing  int                 `json:"firing"`
+		Alerts  []rules.AlertStatus `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Firing != 1 || out.Pending != 0 || len(out.Alerts) != 1 {
+		t.Fatalf("alerts %+v", out)
+	}
+	a := out.Alerts[0]
+	if a.Rule != "hot" || a.State != "firing" || a.Severity != "page" || a.Value != 25 {
+		t.Fatalf("alert %+v", a)
+	}
+}
+
+func TestAPIRules(t *testing.T) {
+	srv, _ := rulesServer(t)
+	code, body := get(t, srv.URL+"/api/rules")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out []rules.RuleStatus
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out) != 2 || out[0].Name != "hot" || out[0].Kind != "alert" ||
+		out[0].Firing != 1 || out[1].Name != "temp_copy" || out[1].Kind != "record" {
+		t.Fatalf("rules %+v", out)
+	}
+	if !strings.Contains(out[0].Expr, "value($temp)") {
+		t.Fatalf("expr %q", out[0].Expr)
+	}
+}
+
+func TestAPIIncidents(t *testing.T) {
+	srv, _ := rulesServer(t)
+	code, body := get(t, srv.URL+"/api/incidents")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Incidents rules.IncidentLog `json:"incidents"`
+		Timeline  []rules.Event     `json:"timeline"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Incidents.Open) != 1 || out.Incidents.Total != 1 {
+		t.Fatalf("incidents %+v", out.Incidents)
+	}
+	if len(out.Timeline) != 1 || out.Timeline[0].Kind != rules.EvFiring {
+		t.Fatalf("timeline %+v", out.Timeline)
+	}
+}
+
+func TestRulesEndpointsWithoutEngine(t *testing.T) {
+	srv, _ := seededServer(t)
+	for _, ep := range []string{"/api/alerts", "/api/rules", "/api/incidents"} {
+		code, body := get(t, srv.URL+ep)
+		if code != http.StatusNotFound || !strings.Contains(body, "no rules engine") {
+			t.Errorf("%s without engine: status %d body %s", ep, code, body)
+		}
+	}
+}
+
+func TestAlertsBypassAdmissionGate(t *testing.T) {
+	set := rules.MustParse("alert hot value($temp) > 20 severity page\n")
+	db := monitor.NewSampleDB()
+	eng := rules.NewEngine(set, db.Store()).Live("temp", func() float64 { return 25 })
+	eng.Eval(t0)
+	coll := monitor.NewCollector(0).WithSamples(db)
+	s := NewServer(coll, []string{"01"}, t0).WithRules(eng).WithAdmission(1, time.Second)
+	h := s.Handler()
+
+	// Park a handler mid-response so the single slot stays occupied.
+	bw := newBlockingWriter()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(bw, httptest.NewRequest("GET", "/", nil))
+	}()
+	<-bw.entered
+
+	// Ordinary API reads shed; the alert view answers anyway — overload
+	// is exactly when the operator needs it.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/rules", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/api/rules during overload = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/alerts", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"firing": 1`) {
+		t.Fatalf("/api/alerts during overload = %d body %s", rec.Code, rec.Body.String())
+	}
+
+	close(bw.release)
+	<-done
+}
+
+// TestStreamingHandlesManyBlocks pushes well past the alloc-visible
+// range: the handler must not materialise the window. This is a smoke
+// bound, not a benchmark — the point is that response size no longer
+// implies a same-sized server-side buffer.
+func TestStreamingHandlesManyBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	raw := sampleLog(10_000)
+	db := monitor.NewSampleDB()
+	db.Ingest("01", monitor.SensorLog, raw)
+	coll := monitor.NewCollector(0).WithSamples(db)
+	srv := httptest.NewServer(NewServer(coll, []string{"01"}, t0).Handler())
+	t.Cleanup(srv.Close)
+	code, body := get(t, srv.URL+"/api/series/01/cpu")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if n := strings.Count(body, `"at"`); n != 10_000 {
+		t.Fatalf("streamed %d points, want 10000", n)
+	}
+	if !strings.HasSuffix(body, "\n}\n") {
+		t.Fatalf("body tail %q", body[len(body)-8:])
+	}
+	var out SeriesWindow
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("streamed body is not valid JSON: %v", err)
+	}
+	if len(out.Points) != 10_000 {
+		t.Fatalf("decoded %d points", len(out.Points))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"frostlab/internal/telemetry"
@@ -91,10 +92,19 @@ type FleetCollector struct {
 	// met is nil until Instrument attaches a registry; see metrics.go.
 	met *fleetMetrics
 
+	// staleConns counts parked connections found dead on pickup. Unlike
+	// the telemetry mirror it is always on, so the rules engine can
+	// watch pool churn even without an instrumented registry.
+	staleConns atomic.Uint64
+
 	mu      sync.Mutex
 	reports []RoundReport
 	round   int
 }
+
+// PoolStaleTotal reports how many pooled connections were found dead
+// when picked up for a round.
+func (fc *FleetCollector) PoolStaleTotal() uint64 { return fc.staleConns.Load() }
 
 // NewFleetCollector validates the configuration and returns a collector
 // with closed breakers and an empty gap ledger.
@@ -352,6 +362,7 @@ func (fc *FleetCollector) session(ctx context.Context, hostID string, round, att
 				// injected chaos): sever it so the health check sees a
 				// dead conn, exactly as production would.
 				pc.conn.Close()
+				fc.staleConns.Add(1)
 				fc.countPoolStale(hostID)
 			}
 			if err := ping(pc.sess); err == nil {

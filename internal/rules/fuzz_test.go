@@ -1,0 +1,40 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRuleFileParse asserts the parser never panics and that anything
+// it accepts re-parses identically from its canonical rendering.
+func FuzzRuleFileParse(f *testing.F) {
+	f.Add([]byte(DefaultRuleSet))
+	f.Add([]byte("record x value($v)\n"))
+	f.Add([]byte("alert x rate(*/cpu,10m) > 0.5 for 1h severity page\n"))
+	f.Add([]byte("envelope low=2 high=30 dew=17 rhmax=85\n"))
+	f.Add([]byte("# only a comment\n\n"))
+	f.Add([]byte("alert \xff value($v) > 1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Parse(data)
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		for i := range set.Rules {
+			b.WriteString(set.Rules[i].String())
+			b.WriteByte('\n')
+		}
+		again, err := Parse([]byte(b.String()))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, b.String())
+		}
+		if len(again.Rules) != len(set.Rules) {
+			t.Fatalf("canonical reparse kept %d of %d rules", len(again.Rules), len(set.Rules))
+		}
+		for i := range set.Rules {
+			if again.Rules[i].String() != set.Rules[i].String() {
+				t.Fatalf("not canonical: %q != %q", again.Rules[i].String(), set.Rules[i].String())
+			}
+		}
+	})
+}

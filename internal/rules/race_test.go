@@ -1,0 +1,53 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"frostlab/internal/monitor"
+)
+
+// TestWallTimeEvalVsConcurrentIngest exercises collectord's
+// wall-clock embedding under the race detector: one goroutine ingests
+// agent sensor chunks into the SampleDB while another evaluates rules
+// and a third reads dash-style snapshots.
+func TestWallTimeEvalVsConcurrentIngest(t *testing.T) {
+	db := monitor.NewSampleDB()
+	eng := NewEngine(MustParse(`alert stale absent(*/cpu,45m) for 20m
+alert hot max(01/cpu,60m) > 90
+record fleet_cpu avg(01/cpu,30m)
+`), db.Store())
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			at := t0.Add(time.Duration(i) * time.Minute)
+			for _, h := range []string{"01", "02", "03"} {
+				line := fmt.Sprintf("%s cpu=%d load=%d\n", at.Format(time.RFC3339), i%100, i%7)
+				db.Ingest(h, "sensors", []byte(line))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			eng.Eval(t0.Add(time.Duration(i) * time.Minute))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/4; i++ {
+			eng.ActiveAlerts()
+			eng.RuleStatuses()
+			eng.Incidents()
+			eng.Report()
+			eng.Stats()
+		}
+	}()
+	wg.Wait()
+}

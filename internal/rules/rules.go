@@ -1,0 +1,467 @@
+// Package rules is frostlab's deterministic alerting and SLO engine: a
+// typed rule language evaluated over tsdb-backed series and live gauge
+// callbacks, with Prometheus-style for-duration alert state machines,
+// recording rules that write derived series back into the store, and a
+// bounded append-only incident timeline.
+//
+// The engine is clock-agnostic: core/campaign drive it with simulated
+// time (byte-identical on replay, zero allocations per warm eval tick)
+// while collectord drives the same engine with wall time after each
+// collection round. See DESIGN.md § alerting model.
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"frostlab/internal/units"
+)
+
+// Fn identifies a rule expression function.
+type Fn int
+
+const (
+	// FnValue reads a source's current value.
+	FnValue Fn = iota
+	// FnRate is the per-second change over a window (needs >= 2 samples).
+	FnRate
+	// FnAvg averages the samples inside a window.
+	FnAvg
+	// FnMin takes the window minimum.
+	FnMin
+	// FnMax takes the window maximum.
+	FnMax
+	// FnAbsent is 1 when a series has no sample newer than the window.
+	FnAbsent
+	// FnDewMargin is units.DewPointMargin(airT, rh, surfaceT) in Kelvin.
+	FnDewMargin
+	// FnOutsideEnv is 1 when (temp, rh) falls outside the envelope.
+	FnOutsideEnv
+)
+
+var fnNames = map[Fn]string{
+	FnValue: "value", FnRate: "rate", FnAvg: "avg", FnMin: "min",
+	FnMax: "max", FnAbsent: "absent", FnDewMargin: "dewpoint_margin",
+	FnOutsideEnv: "outside_envelope",
+}
+
+// fnSig describes a function's arity: sources, then an optional
+// trailing window duration.
+type fnSig struct {
+	fn      Fn
+	sources int
+	window  bool
+	boolean bool
+}
+
+var fnSigs = map[string]fnSig{
+	"value":            {FnValue, 1, false, false},
+	"rate":             {FnRate, 1, true, false},
+	"avg":              {FnAvg, 1, true, false},
+	"min":              {FnMin, 1, true, false},
+	"max":              {FnMax, 1, true, false},
+	"absent":           {FnAbsent, 1, true, true},
+	"dewpoint_margin":  {FnDewMargin, 3, false, false},
+	"outside_envelope": {FnOutsideEnv, 2, false, true},
+}
+
+// Cmp is a threshold comparison operator.
+type Cmp int
+
+const (
+	// CmpNone means the expression itself is the boolean condition.
+	CmpNone Cmp = iota
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+var cmpNames = map[string]Cmp{
+	"<": CmpLT, "<=": CmpLE, ">": CmpGT, ">=": CmpGE, "==": CmpEQ, "!=": CmpNE,
+}
+
+func (c Cmp) String() string {
+	for s, v := range cmpNames {
+		if v == c {
+			return s
+		}
+	}
+	return ""
+}
+
+// holds reports whether v satisfies the comparison against threshold.
+func (c Cmp) holds(v, threshold float64) bool {
+	switch c {
+	case CmpLT:
+		return v < threshold
+	case CmpLE:
+		return v <= threshold
+	case CmpGT:
+		return v > threshold
+	case CmpGE:
+		return v >= threshold
+	case CmpEQ:
+		return v == threshold
+	case CmpNE:
+		return v != threshold
+	default:
+		return v != 0
+	}
+}
+
+// Kind distinguishes recording rules from alert rules.
+type Kind int
+
+const (
+	// KindRecord writes the expression's value back into the store
+	// under the rule's name every eval tick.
+	KindRecord Kind = iota
+	// KindAlert runs the inactive/pending/firing state machine.
+	KindAlert
+)
+
+// Source is one expression input: either a live gauge registered with
+// Engine.Live ($name) or a tsdb series, optionally host-wildcarded
+// ("*/cpu" expands to one rule instance per matching host).
+type Source struct {
+	Live bool   `json:"live,omitempty"`
+	Wild bool   `json:"wild,omitempty"`
+	Name string `json:"name"`
+}
+
+func (s Source) String() string {
+	if s.Live {
+		return "$" + s.Name
+	}
+	return s.Name
+}
+
+// wildSuffix returns the series-name suffix after "*/" for a wildcard
+// source ("*/cpu" -> "cpu").
+func (s Source) wildSuffix() string { return strings.TrimPrefix(s.Name, "*/") }
+
+// Rule is one parsed rule line.
+type Rule struct {
+	Kind      Kind          `json:"-"`
+	Name      string        `json:"name"`
+	Fn        Fn            `json:"-"`
+	Args      []Source      `json:"args"`
+	Window    time.Duration `json:"window,omitempty"`
+	Cmp       Cmp           `json:"-"`
+	Threshold float64       `json:"threshold,omitempty"`
+	For       time.Duration `json:"for,omitempty"`
+	Severity  string        `json:"severity,omitempty"`
+}
+
+// wild reports whether any source is host-wildcarded.
+func (r *Rule) wild() bool {
+	for _, a := range r.Args {
+		if a.Wild {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr renders the rule's expression in canonical grammar form.
+func (r *Rule) Expr() string {
+	var b strings.Builder
+	b.WriteString(fnNames[r.Fn])
+	b.WriteByte('(')
+	for i, a := range r.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.String())
+	}
+	if fnSigs[fnNames[r.Fn]].window {
+		b.WriteByte(',')
+		b.WriteString(r.Window.String())
+	}
+	b.WriteByte(')')
+	if r.Cmp != CmpNone {
+		fmt.Fprintf(&b, " %s %g", r.Cmp, r.Threshold)
+	}
+	return b.String()
+}
+
+// String renders the whole rule as one canonical grammar line.
+func (r *Rule) String() string {
+	var b strings.Builder
+	if r.Kind == KindRecord {
+		b.WriteString("record ")
+	} else {
+		b.WriteString("alert ")
+	}
+	b.WriteString(r.Name)
+	b.WriteByte(' ')
+	b.WriteString(r.Expr())
+	if r.For > 0 {
+		b.WriteString(" for ")
+		b.WriteString(r.For.String())
+	}
+	if r.Severity != "" {
+		b.WriteString(" severity ")
+		b.WriteString(r.Severity)
+	}
+	return b.String()
+}
+
+// RuleSet is a parsed rule file: the rules in file order plus the
+// envelope the envelope predicates evaluate against.
+type RuleSet struct {
+	Rules    []Rule
+	Envelope units.AshraeEnvelope
+}
+
+// Parse parses the rule-file grammar. One construct per line:
+//
+//	# comment
+//	envelope low=2 high=30 dew=17 rhmax=85
+//	record <name> <fn>(<src>[,<src>...][,<window>])
+//	alert  <name> <fn>(...) [<cmp> <num>] [for <dur>] [severity <word>]
+//
+// Sources are $live gauge names or tsdb series names; a single leading
+// "*/" wildcards the host position and expands to one alert instance
+// per matching host. Boolean functions (absent, outside_envelope) need
+// no comparison; numeric ones used in alerts require one. The function
+// call must be a single token (no spaces inside the parentheses); the
+// comparison operator and threshold are separate tokens.
+func Parse(data []byte) (*RuleSet, error) {
+	set := &RuleSet{Envelope: units.FrostAllowable}
+	seen := make(map[string]bool)
+	envSeen := false
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "envelope":
+			if envSeen {
+				return nil, lineErr(lineNo, "duplicate envelope directive")
+			}
+			envSeen = true
+			if err := parseEnvelope(fields[1:], &set.Envelope); err != nil {
+				return nil, lineErr(lineNo, "%v", err)
+			}
+		case "record", "alert":
+			r, err := parseRule(fields)
+			if err != nil {
+				return nil, lineErr(lineNo, "%v", err)
+			}
+			if seen[r.Name] {
+				return nil, lineErr(lineNo, "duplicate rule name %q", r.Name)
+			}
+			seen[r.Name] = true
+			set.Rules = append(set.Rules, r)
+		default:
+			return nil, lineErr(lineNo, "unknown directive %q (want envelope, record, or alert)", fields[0])
+		}
+	}
+	return set, nil
+}
+
+// MustParse parses src and panics on error: for compiled-in rulesets
+// and tests.
+func MustParse(src string) *RuleSet {
+	set, err := Parse([]byte(src))
+	if err != nil {
+		panic("rules: " + err.Error())
+	}
+	return set
+}
+
+func lineErr(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("rules: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+func parseEnvelope(fields []string, env *units.AshraeEnvelope) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("envelope directive needs at least one key=value")
+	}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("envelope field %q is not key=value", f)
+		}
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("envelope %s: %v", key, err)
+		}
+		switch key {
+		case "low":
+			env.TempLow = units.Celsius(n)
+		case "high":
+			env.TempHigh = units.Celsius(n)
+		case "dew":
+			env.DewPointMax = units.Celsius(n)
+		case "rhmax":
+			env.RHMax = units.RelHumidity(n)
+		default:
+			return fmt.Errorf("unknown envelope key %q (want low, high, dew, rhmax)", key)
+		}
+	}
+	if env.TempLow >= env.TempHigh {
+		return fmt.Errorf("envelope low %v >= high %v", env.TempLow, env.TempHigh)
+	}
+	return nil
+}
+
+func parseRule(fields []string) (Rule, error) {
+	r := Rule{Kind: KindAlert}
+	if fields[0] == "record" {
+		r.Kind = KindRecord
+	}
+	if len(fields) < 3 {
+		return r, fmt.Errorf("%s needs a name and an expression", fields[0])
+	}
+	r.Name = fields[1]
+	if !validName(r.Name) {
+		return r, fmt.Errorf("invalid rule name %q", r.Name)
+	}
+	if err := parseCall(fields[2], &r); err != nil {
+		return r, err
+	}
+	rest := fields[3:]
+	boolean := fnSigs[fnNames[r.Fn]].boolean
+	if len(rest) > 0 {
+		if c, ok := cmpNames[rest[0]]; ok {
+			if len(rest) < 2 {
+				return r, fmt.Errorf("comparison %q needs a threshold", rest[0])
+			}
+			n, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return r, fmt.Errorf("threshold %q: %v", rest[1], err)
+			}
+			r.Cmp, r.Threshold = c, n
+			rest = rest[2:]
+		}
+	}
+	if len(rest) > 0 && rest[0] == "for" {
+		if len(rest) < 2 {
+			return r, fmt.Errorf("for needs a duration")
+		}
+		d, err := time.ParseDuration(rest[1])
+		if err != nil {
+			return r, fmt.Errorf("for %q: %v", rest[1], err)
+		}
+		if d < 0 {
+			return r, fmt.Errorf("negative for duration %v", d)
+		}
+		r.For = d
+		rest = rest[2:]
+	}
+	if len(rest) > 0 && rest[0] == "severity" {
+		if len(rest) < 2 {
+			return r, fmt.Errorf("severity needs a word")
+		}
+		if !validName(rest[1]) {
+			return r, fmt.Errorf("invalid severity %q", rest[1])
+		}
+		r.Severity = rest[1]
+		rest = rest[2:]
+	}
+	if len(rest) > 0 {
+		return r, fmt.Errorf("trailing tokens %q", strings.Join(rest, " "))
+	}
+	switch r.Kind {
+	case KindRecord:
+		if r.Cmp != CmpNone || r.For != 0 || r.Severity != "" {
+			return r, fmt.Errorf("record rules take only an expression")
+		}
+	case KindAlert:
+		if boolean && r.Cmp != CmpNone {
+			return r, fmt.Errorf("%s is already boolean; drop the comparison", fnNames[r.Fn])
+		}
+		if !boolean && r.Cmp == CmpNone {
+			return r, fmt.Errorf("alert on numeric %s needs a comparison", fnNames[r.Fn])
+		}
+		if r.Severity == "" {
+			r.Severity = "warn"
+		}
+	}
+	return r, nil
+}
+
+func parseCall(tok string, r *Rule) error {
+	open := strings.IndexByte(tok, '(')
+	if open <= 0 || !strings.HasSuffix(tok, ")") {
+		return fmt.Errorf("expression %q is not fn(args)", tok)
+	}
+	sig, ok := fnSigs[tok[:open]]
+	if !ok {
+		return fmt.Errorf("unknown function %q", tok[:open])
+	}
+	r.Fn = sig.fn
+	args := strings.Split(tok[open+1:len(tok)-1], ",")
+	want := sig.sources
+	if sig.window {
+		want++
+	}
+	if len(args) != want {
+		return fmt.Errorf("%s takes %d argument(s), got %d", tok[:open], want, len(args))
+	}
+	if sig.window {
+		d, err := time.ParseDuration(args[len(args)-1])
+		if err != nil {
+			return fmt.Errorf("window %q: %v", args[len(args)-1], err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("window %v must be positive", d)
+		}
+		r.Window = d
+		args = args[:len(args)-1]
+	}
+	for _, a := range args {
+		src, err := parseSource(a)
+		if err != nil {
+			return err
+		}
+		r.Args = append(r.Args, src)
+	}
+	return nil
+}
+
+func parseSource(s string) (Source, error) {
+	if s == "" {
+		return Source{}, fmt.Errorf("empty source")
+	}
+	if s[0] == '$' {
+		name := s[1:]
+		if name == "" || strings.ContainsAny(name, "*$/") {
+			return Source{}, fmt.Errorf("invalid live source %q", s)
+		}
+		return Source{Live: true, Name: name}, nil
+	}
+	if strings.ContainsRune(s, '*') {
+		if !strings.HasPrefix(s, "*/") || len(s) < 3 || strings.Count(s, "*") != 1 {
+			return Source{}, fmt.Errorf("wildcard source %q must be */<metric>", s)
+		}
+		return Source{Wild: true, Name: s}, nil
+	}
+	return Source{Name: s}, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9', c == ':', c == '-':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package tsdb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLatestTracksAppends(t *testing.T) {
+	s := NewStore(4)
+	if _, _, ok := s.Latest("cpu"); ok {
+		t.Fatal("Latest on unknown series reported ok")
+	}
+	if got := s.SeriesCount(); got != 0 {
+		t.Fatalf("SeriesCount = %d, want 0", got)
+	}
+	// Cross a block seal (maxSamples = 4) to prove Latest follows the
+	// head, not the sealed blocks.
+	for i := 0; i < 10; i++ {
+		if err := s.Append("cpu", int64(i)*100, float64(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		ts, v, ok := s.Latest("cpu")
+		if !ok || ts != int64(i)*100 || v != float64(i) {
+			t.Fatalf("Latest after append %d = (%d, %v, %v)", i, ts, v, ok)
+		}
+	}
+	if got := s.SeriesCount(); got != 1 {
+		t.Fatalf("SeriesCount = %d, want 1", got)
+	}
+	id := s.EnsureSeries("empty")
+	_ = id
+	if _, _, ok := s.Latest("empty"); ok {
+		t.Fatal("Latest on empty series reported ok")
+	}
+	if got := s.SeriesCount(); got != 2 {
+		t.Fatalf("SeriesCount = %d, want 2", got)
+	}
+}
+
+func TestLatestSurvivesSegmentRoundTrip(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 9; i++ {
+		if err := s.Append("tent/temp", int64(1000+i), 20.0+float64(i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSegment(&buf); err != nil {
+		t.Fatalf("WriteSegment: %v", err)
+	}
+
+	restored := NewStore(4)
+	if err := restored.ReadSegment(&buf); err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	ts, v, ok := restored.Latest("tent/temp")
+	if !ok || ts != 1008 || v != 28.0 {
+		t.Fatalf("Latest after restore = (%d, %v, %v), want (1008, 28, true)", ts, v, ok)
+	}
+	// Appends continue after the restored history and keep Latest fresh.
+	if err := restored.Append("tent/temp", 2000, 30); err != nil {
+		t.Fatalf("append after restore: %v", err)
+	}
+	if ts, v, _ := restored.Latest("tent/temp"); ts != 2000 || v != 30 {
+		t.Fatalf("Latest after post-restore append = (%d, %v)", ts, v)
+	}
+}

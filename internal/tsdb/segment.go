@@ -164,5 +164,14 @@ func (s *Store) addBlock(name string, b Block) error {
 	b.seriesID = id
 	ms.blocks = append(ms.blocks, b)
 	ms.samples += int64(b.count)
+	// Keep Latest coherent across a restore: decode the block's final
+	// sample. Restores are cold-path, so the linear scan is acceptable.
+	it := b.Iter()
+	for it.Next() {
+		ms.lastT, ms.lastV = it.At()
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
 	return nil
 }

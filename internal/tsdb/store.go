@@ -26,6 +26,11 @@ type memSeries struct {
 	blocks  []Block
 	head    appender
 	samples int64
+	// lastT and lastV mirror the most recent appended (or restored)
+	// sample, so Latest can answer without decoding the head stream —
+	// the rules engine reads every watched series once per eval tick.
+	lastT int64
+	lastV float64
 }
 
 // NewStore returns an empty store sealing blocks every maxSamples samples
@@ -85,10 +90,37 @@ func (s *Store) appendLocked(id uint32, t int64, v float64) error {
 		return err
 	}
 	ms.samples++
+	ms.lastT, ms.lastV = t, v
 	if int(ms.head.count) >= s.maxSamples {
 		ms.blocks = append(ms.blocks, ms.head.seal(id))
 	}
 	return nil
+}
+
+// Latest returns the named series' most recent sample without decoding
+// any compressed data. It is the rules engine's per-tick read and
+// performs zero allocations; ok is false for unknown or empty series.
+func (s *Store) Latest(name string) (t int64, v float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, known := s.byName[name]
+	if !known {
+		return 0, 0, false
+	}
+	ms := s.series[id]
+	if ms.samples == 0 {
+		return 0, 0, false
+	}
+	return ms.lastT, ms.lastV, true
+}
+
+// SeriesCount reports how many series are registered. It is the cheap
+// change detector callers use to notice new series (e.g. the rules
+// engine re-expanding wildcard instances) without listing them.
+func (s *Store) SeriesCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
 }
 
 // SeriesInfo describes one series' storage footprint.
