@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"frostlab/internal/campaign"
+	"frostlab/internal/climate"
+	"frostlab/internal/control"
+	"frostlab/internal/core"
+	"frostlab/internal/econ"
+	"frostlab/internal/report"
+)
+
+// The E17 economics study (-phase econ): the multi-site fleet — one site
+// per climate family, each on its geographic tariff — swept over
+// placement policy x fleet composition x price regime. The study reports
+// $/kWh-derived cost and gCO₂ per completed work-cycle for every cell,
+// and gates four invariants by exit status: the whole sweep replays
+// byte-identically (digest-compared double run), the warm multi-site
+// tick is allocation-free, every cell conserves work-cycles exactly,
+// and follow-the-cold beats static placement on at least one
+// (fleet, tariff) pair. The full result lands in BENCH_ECON.json.
+
+type econOpts struct {
+	days  *int
+	hosts *int
+	out   *string
+}
+
+func econFlags() econOpts {
+	return econOpts{
+		days:  flag.Int("econ-days", 28, "simulated days per sweep cell"),
+		hosts: flag.Int("econ-hosts", 9, "hosts per site"),
+		out:   flag.String("econ-out", "BENCH_ECON.json", "write the study report as JSON to this file (\"\" disables)"),
+	}
+}
+
+// econCellBench is one sweep cell's row in BENCH_ECON.json.
+type econCellBench struct {
+	Policy         string  `json:"policy"`
+	Set            string  `json:"set"`
+	Tariff         string  `json:"tariff"`
+	Completion     float64 `json:"completion"`
+	CostPerCycle   float64 `json:"cost_per_cycle_usd"`
+	CarbonPerCycle float64 `json:"carbon_per_cycle_g"`
+	EffectivePrice float64 `json:"effective_price_usd_kwh"`
+	EnergyKWh      float64 `json:"energy_kwh"`
+	Migrated       float64 `json:"migrated_cycles"`
+	Shed           float64 `json:"shed_cycles"`
+	Digest         string  `json:"digest"`
+}
+
+// econBench is the BENCH_ECON.json shape.
+type econBench struct {
+	Seed              string             `json:"seed"`
+	Days              int                `json:"days"`
+	HostsPerSite      int                `json:"hosts_per_site"`
+	Cells             []econCellBench    `json:"cells"`
+	SweepDigest       string             `json:"sweep_digest"`
+	ReplayIdentical   bool               `json:"replay_identical"`
+	WarmTickAllocs    float64            `json:"warm_tick_allocs"`
+	ConservationOK    bool               `json:"conservation_ok"`
+	FollowColdSavings map[string]float64 `json:"follow_cold_savings_usd_per_cycle"`
+	FollowColdWins    int                `json:"follow_cold_wins"`
+}
+
+func runEconStudy(seed string, o econOpts) error {
+	if *o.days < 1 {
+		return fmt.Errorf("-econ-days must be at least 1, got %d", *o.days)
+	}
+	if *o.hosts < 1 {
+		return fmt.Errorf("-econ-hosts must be at least 1, got %d", *o.hosts)
+	}
+	spec := campaign.DefaultEconSpec(seed)
+	spec.Days = *o.days
+	spec.HostsPerSite = *o.hosts
+
+	fmt.Printf("E17 economics study: %d-day cells, %d hosts/site, seed %q\n\n", spec.Days, spec.HostsPerSite, seed)
+
+	sum, err := campaign.RunEcon(spec)
+	if err != nil {
+		return err
+	}
+	// Replay gate: the entire sweep again, digest-compared.
+	again, err := campaign.RunEcon(spec)
+	if err != nil {
+		return fmt.Errorf("replay run: %w", err)
+	}
+	replayOK := sum.Digest() == again.Digest()
+
+	// Conservation gate: re-derive every cell's work-cycle accounting from
+	// the results (the engine also checks internally on Run).
+	conservationOK := true
+	for i := range sum.Cells {
+		r := sum.Cells[i].Result
+		meters := make([]econ.Meter, len(r.Sites))
+		for j := range r.Sites {
+			meters[j] = r.Sites[j].Meter
+		}
+		if err := econ.CheckConservation(meters, r.Demanded, 1e-6*(1+r.Demanded)); err != nil {
+			conservationOK = false
+			fmt.Printf("conservation violated in %s: %v\n", sum.Cells[i].Label, err)
+		}
+	}
+
+	allocs := measureEconTickAllocs(seed, *o.hosts)
+
+	text, err := report.Econ(sum)
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+
+	keys, savings := sum.Advantage("follow-cold", "static")
+	wins := 0
+	for _, k := range keys {
+		if savings[k] > 0 {
+			wins++
+		}
+	}
+
+	replay := "replay identical"
+	if !replayOK {
+		replay = "REPLAY DIVERGED"
+	}
+	fmt.Printf("sweep digest %s (%s)\n", sum.Digest(), replay)
+	fmt.Printf("warm multi-site tick: %.3f allocs over 100 ticks\n", allocs)
+	fmt.Printf("follow-cold beats static on %d of %d (fleet, tariff) pairs\n", wins, len(keys))
+
+	bench := econBench{
+		Seed:              seed,
+		Days:              spec.Days,
+		HostsPerSite:      spec.HostsPerSite,
+		SweepDigest:       sum.Digest(),
+		ReplayIdentical:   replayOK,
+		WarmTickAllocs:    allocs,
+		ConservationOK:    conservationOK,
+		FollowColdSavings: savings,
+		FollowColdWins:    wins,
+	}
+	for i := range sum.Cells {
+		c := &sum.Cells[i]
+		r := c.Result
+		bench.Cells = append(bench.Cells, econCellBench{
+			Policy:         c.Policy,
+			Set:            c.Set,
+			Tariff:         c.Tariff,
+			Completion:     r.Completion(),
+			CostPerCycle:   r.CostPerCycle(),
+			CarbonPerCycle: r.CarbonPerCycle(),
+			EffectivePrice: r.TotalMeter.EffectivePrice(),
+			EnergyKWh:      float64(r.TotalMeter.Energy()),
+			Migrated:       r.Migrated,
+			Shed:           r.Shed,
+			Digest:         r.Digest(),
+		})
+	}
+	if *o.out != "" {
+		data, err := json.MarshalIndent(bench, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*o.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *o.out)
+	}
+
+	// Invariant gates, asserted by exit status so CI can hold the study.
+	if !replayOK {
+		return fmt.Errorf("E17: sweep replay produced a different digest")
+	}
+	if allocs != 0 {
+		return fmt.Errorf("E17: warm multi-site tick allocates (%.3f allocs/tick)", allocs)
+	}
+	if !conservationOK {
+		return fmt.Errorf("E17: work-cycle conservation violated")
+	}
+	if wins == 0 {
+		return fmt.Errorf("E17: follow-cold never beat static placement")
+	}
+	return nil
+}
+
+// measureEconTickAllocs warms a default multi-site engine past its cold
+// caches, then measures mallocs across 100 dispatch ticks. The tentpole
+// claim is zero.
+func measureEconTickAllocs(seed string, hosts int) float64 {
+	cfg := core.DefaultMultiSiteConfig(seed + "/allocs")
+	for i := range cfg.Sites {
+		cfg.Sites[i].Hosts = hosts
+	}
+	eng, err := core.NewMultiSite(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 8; i++ {
+		eng.Step()
+	}
+	return testing.AllocsPerRun(100, func() { eng.Step() })
+}
+
+// listClimates prints the scenario library (-list-climates): every
+// family's catalogue line and parameter defaults.
+func listClimates() {
+	fmt.Println("Scenario library (internal/climate):")
+	for _, f := range climate.Families() {
+		fmt.Printf("\n%s — %s\n", f.Name, f.Description)
+		p := f.Defaults
+		fmt.Printf("  latitude %.1f°N, mean %.1f °C (%+.2f °C/day), diurnal ±%.1f °C, synoptic ±%.1f °C\n",
+			p.Latitude, p.MeanTemp, p.WarmingPerDay, p.DiurnalAmplitude, p.SynopticAmplitude)
+		fmt.Printf("  RH %.0f%%, wind %.1f m/s, stress %.2f\n", p.MeanRH, p.MeanWind, p.Stress)
+	}
+	fmt.Println("\nTariff presets (internal/econ):")
+	for _, tf := range econ.Tariffs() {
+		fmt.Printf("\n%s — %s\n", tf.Name, tf.Description)
+		d := tf.Defaults
+		fmt.Printf("  base $%.3f/kWh, diurnal ±$%.3f (peak %02.0f:00), duck -$%.3f, volatility %.2f\n",
+			d.BasePrice, d.DiurnalAmp, d.PeakHour, d.DuckAmp, d.Volatility)
+		fmt.Printf("  carbon %.0f ±%.0f gCO₂/kWh\n", d.BaseCarbon, d.CarbonSwing)
+	}
+}
+
+// listPolicies prints the placement-policy library (-list-policies).
+func listPolicies() {
+	fmt.Println("Site placement policies (internal/control):")
+	for _, p := range control.Policies() {
+		fmt.Printf("\n%s — %s\n", p.Name, p.Description)
+	}
+	def := control.DefaultFollowConfig()
+	fmt.Printf("\nfollow-* hysteresis defaults: switch margin %.0f%%, hold %d ticks\n",
+		100*def.SwitchMargin, def.HoldTicks)
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control|serve|alerts] [-monitor 20m]
+//	frostctl [-seed SEED] [-phase all|prototype|normal|chaos|control|serve|alerts|econ] [-monitor 20m]
 //	         [-days N] [-csv DIR] [-events] [-trace out.json]
 //	frostctl -tents N [-hosts-per-tent 9] [-shards K] [-days N] [-csv DIR] [-save out.json]
 //
@@ -26,6 +26,12 @@
 // fault class against the rules engine, measuring MTTD per class,
 // checking replay byte-identity and the zero-alloc eval path, writing
 // BENCH_ALERTS.json (see -alerts-* flags).
+// -phase econ runs the E17 economics study: the multi-site fleet (one
+// site per climate family, each on its geographic tariff) swept over
+// placement policy x fleet x price regime, reporting $ and gCO2 per
+// completed work-cycle and writing BENCH_ECON.json (see -econ-* flags).
+// -list-climates and -list-policies print the scenario and policy
+// libraries with their parameter defaults and exit.
 // -trace records the run as Chrome trace-event JSON — open it in
 // chrome://tracing or https://ui.perfetto.dev to see the experiment
 // timeline: per-host outage spans, install/repair instants, monitoring
@@ -61,7 +67,7 @@ func main() {
 
 func run() error {
 	seed := flag.String("seed", core.ReferenceSeed, "master RNG seed")
-	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control | serve | alerts")
+	phase := flag.String("phase", "all", "all | prototype | normal | chaos | control | serve | alerts | econ")
 	monitor := flag.Duration("monitor", 20*time.Minute, "monitoring cadence (0 disables the rsync plane)")
 	days := flag.Int("days", 0, "override the normal-phase length in days (0 = paper horizon)")
 	csvDir := flag.String("csv", "", "write temperature/humidity CSVs into this directory")
@@ -73,11 +79,33 @@ func run() error {
 	tents := flag.Int("tents", 0, "run the sharded scale engine over a synthetic fleet of this many tents (0 = the paper's paired fleet)")
 	hostsPerTent := flag.Int("hosts-per-tent", 9, "hosts per synthetic tent (with -tents)")
 	shards := flag.Int("shards", 0, "shard count for the synthetic fleet; <= 0 selects GOMAXPROCS. Results are byte-identical at any shard count or GOMAXPROCS; more shards than cores adds overhead without speedup")
+	listClim := flag.Bool("list-climates", false, "print the scenario library (climate families and tariff presets) and exit")
+	listPol := flag.Bool("list-policies", false, "print the site placement-policy library and exit")
 	ch := chaosFlags()
 	co := controlFlags()
 	se := serveFlags()
 	al := alertsFlags()
+	eo := econFlags()
 	flag.Parse()
+
+	switch *phase {
+	case "all", "prototype", "normal", "chaos", "control", "serve", "alerts", "econ":
+	default:
+		return fmt.Errorf("unknown -phase %q (want all | prototype | normal | chaos | control | serve | alerts | econ)", *phase)
+	}
+
+	if *listClim || *listPol {
+		if *listClim {
+			listClimates()
+		}
+		if *listPol {
+			if *listClim {
+				fmt.Println()
+			}
+			listPolicies()
+		}
+		return nil
+	}
 
 	if *tents > 0 {
 		if *phase != "all" && *phase != "normal" {
@@ -94,6 +122,9 @@ func run() error {
 	}
 	if *phase == "alerts" {
 		return runAlertsStudy(*seed, al)
+	}
+	if *phase == "econ" {
+		return runEconStudy(*seed, eo)
 	}
 	if *phase == "serve" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

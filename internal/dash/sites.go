@@ -1,0 +1,63 @@
+package dash
+
+import (
+	"net/http"
+)
+
+// Multi-site fleet view: /api/sites. The dashboard stays decoupled from
+// the simulation engine — the embedding wires a snapshot callback in, and
+// the handler serves whatever the callback reports. A deployment without
+// a fleet (the single-site monitoring host) answers the same explicit
+// JSON 404 the other optional planes use.
+
+// SiteStatus is one site's live state in an /api/sites response. It is a
+// dash-local shape so the dashboard does not import the simulation core;
+// the embedding maps its own site state into it.
+type SiteStatus struct {
+	Name    string `json:"name"`
+	Climate string `json:"climate"`
+	Tariff  string `json:"tariff"`
+	// Safe reports the placement policy's eligibility verdict: inside the
+	// allowable envelope with no condensation guard latched.
+	Safe bool `json:"safe"`
+	// Live thermal/control state.
+	IntakeC float64 `json:"intake_c"`
+	Damper  float64 `json:"damper"`
+	// Work placement this dispatch tick.
+	AssignedCycles float64 `json:"assigned_cycles"`
+	// Economics: spot rates and cumulative account.
+	PriceUSDPerKWh float64 `json:"price_usd_kwh"`
+	CarbonGPerKWh  float64 `json:"carbon_g_kwh"`
+	CostUSD        float64 `json:"cost_usd_total"`
+	CarbonG        float64 `json:"carbon_g_total"`
+	CyclesDone     float64 `json:"cycles_done"`
+	CyclesShed     float64 `json:"cycles_shed"`
+}
+
+// SiteFleet is the /api/sites response shape.
+type SiteFleet struct {
+	Policy string       `json:"policy"`
+	Sites  []SiteStatus `json:"sites"`
+}
+
+// WithSites attaches a fleet snapshot source, served on /api/sites, and
+// returns the server. The callback runs per request, so it should be a
+// cheap snapshot of state the embedding already tracks. Without one the
+// endpoint answers 404.
+func (s *Server) WithSites(fn func() SiteFleet) *Server {
+	s.sites = fn
+	return s
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	if s.sites == nil {
+		writeJSONError(w, http.StatusNotFound, "no site fleet attached to this dashboard")
+		return
+	}
+	fleet := s.sites()
+	if fleet.Sites == nil {
+		// Encode an empty roster as [], not null — clients range over it.
+		fleet.Sites = []SiteStatus{}
+	}
+	writeJSON(w, fleet)
+}

@@ -1,0 +1,110 @@
+package dash
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sitesOnlyServer is the econ study's deployment shape: a dashboard with
+// a fleet snapshot source and no collection plane at all.
+func sitesOnlyServer(fn func() SiteFleet) *Server {
+	s := NewServer(nil, nil, time.Unix(0, 0).UTC())
+	if fn != nil {
+		s.WithSites(fn)
+	}
+	return s
+}
+
+func TestSitesEndpoint(t *testing.T) {
+	calls := 0
+	srv := sitesOnlyServer(func() SiteFleet {
+		calls++
+		return SiteFleet{
+			Policy: "follow-cold",
+			Sites: []SiteStatus{
+				{Name: "helsinki", Climate: "helsinki", Tariff: "nordic-hydro", Safe: true,
+					IntakeC: -7.5, Damper: 0.8, AssignedCycles: 11, PriceUSDPerKWh: 0.055,
+					CarbonGPerKWh: 90, CostUSD: 1.23, CarbonG: 2100, CyclesDone: 900},
+				{Name: "desert", Climate: "desert", Tariff: "solar-duck", Safe: false,
+					IntakeC: 44.1, Damper: 1.0, AssignedCycles: 0},
+			},
+		}
+	})
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/sites", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if calls != 1 {
+		t.Fatalf("snapshot callback ran %d times", calls)
+	}
+	var got SiteFleet
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Policy != "follow-cold" || len(got.Sites) != 2 {
+		t.Fatalf("bad fleet: %+v", got)
+	}
+	if got.Sites[0].Name != "helsinki" || !got.Sites[0].Safe || got.Sites[1].Safe {
+		t.Fatalf("site state mangled: %+v", got.Sites)
+	}
+	for _, field := range []string{
+		`"intake_c"`, `"damper"`, `"assigned_cycles"`, `"price_usd_kwh"`,
+		`"carbon_g_kwh"`, `"cost_usd_total"`, `"carbon_g_total"`,
+	} {
+		if !strings.Contains(rr.Body.String(), field) {
+			t.Errorf("response missing %s", field)
+		}
+	}
+}
+
+func TestSitesEndpointEmptyRoster(t *testing.T) {
+	srv := sitesOnlyServer(func() SiteFleet { return SiteFleet{Policy: "static"} })
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/sites", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"sites": []`) {
+		t.Fatalf("empty roster must encode as [], got %s", rr.Body.String())
+	}
+}
+
+func TestSitesEndpointUnattached(t *testing.T) {
+	srv := sitesOnlyServer(nil)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/api/sites", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"error"`) {
+		t.Fatalf("404 must be a JSON error body, got %s", rr.Body.String())
+	}
+}
+
+// TestNilCollectorGuards: a sites-only dashboard must answer every
+// collection-plane endpoint with an explicit error, never a panic.
+func TestNilCollectorGuards(t *testing.T) {
+	srv := sitesOnlyServer(func() SiteFleet { return SiteFleet{} })
+	h := srv.Handler()
+	for _, path := range []string{
+		"/api/hosts", "/api/rounds", "/api/ledger/pc1",
+		"/api/series", "/api/series/pc1/temp", "/logs/pc1/md5.log",
+	} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, rr.Code)
+		}
+	}
+	// The overview degrades to a stub rather than erroring.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "no collection plane") {
+		t.Fatalf("overview without a collector: %d %s", rr.Code, rr.Body.String())
+	}
+}

@@ -1,0 +1,37 @@
+package econ
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraceCSV drives the tariff CSV import with arbitrary input: it
+// must never panic, and any trace that parses must yield finite,
+// non-negative rates everywhere it is sampled.
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add("timestamp,price_usd_kwh,carbon_g_kwh\n" +
+		"2010-02-12 00:00:00,0.08000,420.00\n" +
+		"2010-02-12 01:00:00,0.07500,410.00\n")
+	f.Add("timestamp,price_usd_kwh,carbon_g_kwh\n")
+	f.Add("timestamp,price_usd_kwh,carbon_g_kwh\n2010-02-12 00:00:00,-99,1e308\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadTraceCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		lo, hi := tr.Span()
+		for _, at := range []struct{ r Rates }{
+			{tr.At(lo)}, {tr.At(lo.Add(hi.Sub(lo) / 2))}, {tr.At(hi)},
+		} {
+			if at.r.Price < 0 || at.r.Carbon < 0 {
+				t.Fatalf("parsed trace yields negative rates %+v", at.r)
+			}
+			if math.IsNaN(at.r.Price) || math.IsNaN(at.r.Carbon) {
+				t.Fatalf("parsed trace yields NaN rates %+v", at.r)
+			}
+		}
+	})
+}

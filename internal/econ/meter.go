@@ -1,0 +1,125 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"frostlab/internal/units"
+)
+
+// Meter is a per-site cost and carbon accumulator. The multi-site engine
+// calls Accumulate once per dispatch tick with the site's IT and
+// ventilation power and the instantaneous grid rates, and credits
+// completed, shed, and migrated work-cycles as the dispatcher routes load.
+//
+// All fields are plain accumulators — no maps, no allocation — so metering
+// fits inside the 0-alloc warm tick budget, and the meter is embeddable by
+// value in struct-of-arrays site state.
+type Meter struct {
+	// ITEnergy is energy drawn by the hardware itself.
+	ITEnergy units.KilowattHours
+	// VentEnergy is energy drawn by ventilation fans (cube-law of damper).
+	VentEnergy units.KilowattHours
+	// CostUSD is the total electricity spend, $.
+	CostUSD float64
+	// CarbonG is the total emitted carbon, gCO₂.
+	CarbonG float64
+	// CyclesDone counts completed work-cycles at this site (fractional:
+	// a site completing half a cycle this tick adds 0.5).
+	CyclesDone float64
+	// CyclesShed counts cycles that were assigned here but dropped because
+	// the site was unsafe or duty-limited and no other site took them.
+	CyclesShed float64
+	// CyclesIn / CyclesOut count cycles migrated into / out of this site
+	// by a placement policy. Conservation across a fleet requires
+	// sum(CyclesIn) == sum(CyclesOut).
+	CyclesIn, CyclesOut float64
+	// MigrationEnergy is the energy surcharge paid for migrations into
+	// this site (state transfer, cold caches).
+	MigrationEnergy units.KilowattHours
+}
+
+// Accumulate charges the meter for one tick of dt at the given IT and
+// ventilation draw under the given grid rates.
+func (m *Meter) Accumulate(dt time.Duration, it, vent units.Watts, r Rates) {
+	h := dt.Hours()
+	itE := it.Energy(h)
+	ventE := vent.Energy(h)
+	m.ITEnergy += itE
+	m.VentEnergy += ventE
+	e := float64(itE + ventE)
+	m.CostUSD += e * r.Price
+	m.CarbonG += e * r.Carbon
+}
+
+// ChargeMigration books the energy surcharge for migrated-in work at the
+// given rates. cycles is the number of work-cycles moving in; perCycle is
+// the transfer energy per cycle.
+func (m *Meter) ChargeMigration(cycles float64, perCycle units.KilowattHours, r Rates) {
+	e := float64(perCycle) * cycles
+	m.MigrationEnergy += units.KilowattHours(e)
+	m.CostUSD += e * r.Price
+	m.CarbonG += e * r.Carbon
+}
+
+// Energy returns the total metered energy, kWh.
+func (m *Meter) Energy() units.KilowattHours {
+	return m.ITEnergy + m.VentEnergy + m.MigrationEnergy
+}
+
+// CostPerCycle returns $/completed work-cycle, or NaN with zero cycles.
+func (m *Meter) CostPerCycle() float64 {
+	if m.CyclesDone == 0 {
+		return math.NaN()
+	}
+	return m.CostUSD / m.CyclesDone
+}
+
+// CarbonPerCycle returns gCO₂/completed work-cycle, or NaN with zero cycles.
+func (m *Meter) CarbonPerCycle() float64 {
+	if m.CyclesDone == 0 {
+		return math.NaN()
+	}
+	return m.CarbonG / m.CyclesDone
+}
+
+// EffectivePrice returns the average realised price, $/kWh.
+func (m *Meter) EffectivePrice() float64 {
+	e := float64(m.Energy())
+	if e == 0 {
+		return 0
+	}
+	return m.CostUSD / e
+}
+
+// Merge folds another meter into this one (fleet roll-up).
+func (m *Meter) Merge(o Meter) {
+	m.ITEnergy += o.ITEnergy
+	m.VentEnergy += o.VentEnergy
+	m.CostUSD += o.CostUSD
+	m.CarbonG += o.CarbonG
+	m.CyclesDone += o.CyclesDone
+	m.CyclesShed += o.CyclesShed
+	m.CyclesIn += o.CyclesIn
+	m.CyclesOut += o.CyclesOut
+	m.MigrationEnergy += o.MigrationEnergy
+}
+
+// CheckConservation verifies the fleet-level cost-accounting invariant
+// over per-site meters: every demanded cycle is either completed or shed
+// (within tol), and migrations balance — work cannot vanish in transit.
+func CheckConservation(sites []Meter, demanded float64, tol float64) error {
+	var total Meter
+	for i := range sites {
+		total.Merge(sites[i])
+	}
+	if d := math.Abs(total.CyclesIn - total.CyclesOut); d > tol {
+		return fmt.Errorf("econ: migration imbalance: %.6f cycles in vs %.6f out", total.CyclesIn, total.CyclesOut)
+	}
+	if d := math.Abs((total.CyclesDone + total.CyclesShed) - demanded); d > tol {
+		return fmt.Errorf("econ: cycle leak: done %.6f + shed %.6f != demanded %.6f",
+			total.CyclesDone, total.CyclesShed, demanded)
+	}
+	return nil
+}

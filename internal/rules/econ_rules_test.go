@@ -1,0 +1,56 @@
+package rules
+
+import (
+	"testing"
+
+	"frostlab/internal/tsdb"
+)
+
+// TestEconRulesInactiveWithoutGauges: the default set's econ rules bind
+// to live gauges only the multi-site engine registers; an embedding
+// without them (collectord, the single-site simulator) must evaluate the
+// set cleanly with those rules simply inactive.
+func TestEconRulesInactiveWithoutGauges(t *testing.T) {
+	eng := NewEngine(Default(), tsdb.NewStore(0))
+	for i := 0; i < 6; i++ {
+		eng.Eval(tick(i))
+	}
+	for _, a := range eng.ActiveAlerts() {
+		if a.Rule == "econ_price_high" || a.Rule == "site_envelope_low" {
+			t.Fatalf("econ rule %s active without its gauge: %+v", a.Rule, a)
+		}
+	}
+}
+
+// TestEconRulesFire: with the engine's gauges wired in, a sustained price
+// spike and an envelope-residency collapse both walk pending -> firing.
+func TestEconRulesFire(t *testing.T) {
+	price, residency := 0.06, 0.95
+	eng := NewEngine(Default(), tsdb.NewStore(0)).
+		Live("econ_price", func() float64 { return price }).
+		Live("site_envelope_residency", func() float64 { return residency })
+
+	eng.Eval(tick(0))
+	for _, a := range eng.ActiveAlerts() {
+		if a.Rule == "econ_price_high" || a.Rule == "site_envelope_low" {
+			t.Fatalf("econ rule active in the healthy regime: %+v", a)
+		}
+	}
+
+	price, residency = 0.31, 0.5
+	for i := 1; i <= 5; i++ { // 20m ticks: past both for-durations
+		eng.Eval(tick(i))
+	}
+	firing := map[string]bool{}
+	for _, a := range eng.ActiveAlerts() {
+		if a.State == StateFiring.String() {
+			firing[a.Rule] = true
+		}
+	}
+	if !firing["econ_price_high"] {
+		t.Error("econ_price_high never fired under a sustained 31 c/kWh price")
+	}
+	if !firing["site_envelope_low"] {
+		t.Error("site_envelope_low never fired at 50% residency")
+	}
+}

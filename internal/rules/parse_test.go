@@ -91,7 +91,8 @@ func TestDefaultRuleSetParses(t *testing.T) {
 		names[r.Name] = true
 	}
 	for _, want := range []string{"sensor_stale", "coverage_drop", "ingest_shed",
-		"breaker_open", "envelope_violation", "dewpoint_margin_low"} {
+		"breaker_open", "envelope_violation", "dewpoint_margin_low",
+		"econ_price_high", "site_envelope_low"} {
 		if !names[want] {
 			t.Errorf("default ruleset missing %q", want)
 		}
